@@ -1,0 +1,133 @@
+// Command atgis runs spatial queries directly over raw GeoJSON, WKT or
+// OSM XML files with no loading phase:
+//
+//	atgis -query aggregation -ref "-10,-10,10,10" data.geojson
+//	atgis -query containment -mode fat -workers 8 data.geojson
+//	atgis -query join -cell 1 data.wkt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"atgis"
+	"atgis/internal/geom"
+	"atgis/internal/query"
+)
+
+func parseBox(s string) (geom.Box, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Box{}, fmt.Errorf("ref must be minx,miny,maxx,maxy")
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Box{}, err
+		}
+		v[i] = f
+	}
+	return geom.Box{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
+}
+
+func main() {
+	queryKind := flag.String("query", "aggregation", "containment | aggregation | join")
+	ref := flag.String("ref", "-45,-45,45,45", "reference box: minx,miny,maxx,maxy")
+	mode := flag.String("mode", "pat", "pat | fat")
+	workers := flag.Int("workers", 0, "worker threads (0 = NumCPU)")
+	blockSize := flag.Int("block", 1<<20, "block size in bytes")
+	cell := flag.Float64("cell", 1, "join partition cell size in degrees")
+	distName := flag.String("dist", "haversine", "spherical | haversine | andoyer")
+	filterMode := flag.String("filter", "streaming", "streaming | buffered")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: atgis [flags] <datafile>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := atgis.Open(flag.Arg(0))
+	fatal(err)
+	fmt.Printf("dataset: %s (%s, %.1f MB)\n", flag.Arg(0), ds.Format, float64(len(ds.Data))/(1<<20))
+
+	opt := atgis.Options{Workers: *workers, BlockSize: *blockSize}
+	if strings.EqualFold(*mode, "fat") {
+		opt.Mode = atgis.FAT
+	}
+	box, err := parseBox(*ref)
+	fatal(err)
+
+	var dist geom.DistanceMethod
+	switch strings.ToLower(*distName) {
+	case "spherical":
+		dist = geom.SphericalProjection
+	case "andoyer":
+		dist = geom.Andoyer
+	default:
+		dist = geom.Haversine
+	}
+
+	switch strings.ToLower(*queryKind) {
+	case "containment":
+		spec := &query.Spec{
+			Kind: query.Containment, Ref: box.AsPolygon(),
+			Pred: query.PredIntersects, KeepMatches: true,
+		}
+		res, err := ds.Query(spec, opt)
+		fatal(err)
+		fmt.Printf("matched %d of %d objects\n", res.Res.Count, res.Res.Scanned)
+		printStats(res)
+	case "aggregation":
+		spec := &query.Spec{
+			Kind: query.Aggregation, Ref: box.AsPolygon(),
+			Pred: query.PredIntersects, Dist: dist,
+			WantArea: true, WantPerimeter: true, WantMBR: true,
+		}
+		if strings.EqualFold(*filterMode, "buffered") {
+			spec.Mode = query.Buffered
+		}
+		res, err := ds.Query(spec, opt)
+		fatal(err)
+		fmt.Printf("matched %d of %d objects\n", res.Res.Count, res.Res.Scanned)
+		fmt.Printf("total area: %.3f km²\n", res.Res.SumArea/1e6)
+		fmt.Printf("total perimeter: %.3f km\n", res.Res.SumPerimeter/1e3)
+		printStats(res)
+	case "join":
+		start := time.Now()
+		jr, err := ds.Join(atgis.JoinSpec{
+			Mask: func(f *geom.Feature) uint8 {
+				if f.ID%2 == 0 {
+					return query.SideA
+				}
+				return query.SideB
+			},
+			CellSize: *cell,
+		}, opt)
+		fatal(err)
+		fmt.Printf("join: %d pairs (candidates %d, duplicates removed %d) in %v\n",
+			len(jr.Pairs), jr.JoinStats.Candidates, jr.JoinStats.Duplicates, time.Since(start))
+	default:
+		fatal(fmt.Errorf("unknown query kind %q", *queryKind))
+	}
+}
+
+func printStats(res *atgis.Result) {
+	st := res.Stats
+	fmt.Printf("phases: split %v, process %v, merge %v (%d blocks, %d workers, %.1f MB/s)\n",
+		st.SplitTime, st.ProcessTime, st.MergeTime, st.Blocks, st.Workers, st.ThroughputMBs())
+	if res.Repaired > 0 || res.Reprocessed > 0 {
+		fmt.Printf("repaired blocks: %d, reprocessed blocks: %d\n", res.Repaired, res.Reprocessed)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atgis:", err)
+		os.Exit(1)
+	}
+}

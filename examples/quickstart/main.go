@@ -1,0 +1,71 @@
+// Quickstart: run an aggregation query over a raw GeoJSON file with no
+// loading or indexing phase.
+//
+// Usage:
+//
+//	go run ./examples/quickstart [datafile.geojson]
+//
+// Without an argument, a small synthetic dataset is generated in a
+// temporary file first.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"atgis"
+	"atgis/internal/geom"
+	"atgis/internal/query"
+	"atgis/internal/synth"
+)
+
+func main() {
+	path := ""
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	} else {
+		path = filepath.Join(os.TempDir(), "atgis-quickstart.geojson")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := synth.New(synth.Config{Seed: 7, N: 5000, MultiPolyFrac: 0.2, MetadataBytes: 40})
+		if err := g.WriteGeoJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("generated", path)
+	}
+
+	// Open reads the raw file; no parsing happens yet.
+	ds, err := atgis.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s, %.1f MB\n", ds.Format, float64(len(ds.Data))/(1<<20))
+
+	// One query = one parallel pass over the raw bytes: parsing,
+	// filtering and aggregation fused into a single pipeline.
+	region := geom.Box{MinX: -90, MinY: -45, MaxX: 90, MaxY: 45}
+	spec := &query.Spec{
+		Kind:     query.Aggregation,
+		Ref:      region.AsPolygon(),
+		Pred:     query.PredIntersects,
+		Dist:     geom.Haversine,
+		WantArea: true, WantPerimeter: true, WantMBR: true,
+	}
+	res, err := ds.Query(spec, atgis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("objects scanned:  %d\n", res.Res.Scanned)
+	fmt.Printf("objects matched:  %d\n", res.Res.Count)
+	fmt.Printf("total area:       %.1f km²\n", res.Res.SumArea/1e6)
+	fmt.Printf("total perimeter:  %.1f km\n", res.Res.SumPerimeter/1e3)
+	fmt.Printf("result MBR:       %+v\n", res.Res.MBR)
+	fmt.Printf("throughput:       %.1f MB/s over %d blocks on %d workers\n",
+		res.Stats.ThroughputMBs(), res.Stats.Blocks, res.Stats.Workers)
+}

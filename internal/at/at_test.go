@@ -1,0 +1,317 @@
+package at
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// abMatcher builds the paper's Fig. 1 example: a three-state transducer
+// that emits '*' every time the string "ab" is seen.
+func abMatcher() *FST[byte] {
+	m := &FST[byte]{NumStates: 3, Start: 0}
+	m.Delta = make([][256]State, 3)
+	// States: 0 = "1" (no progress), 1 = "2" (seen a), 2 = "3" (seen ab).
+	for b := 0; b < 256; b++ {
+		c := byte(b)
+		// From state 0.
+		if c == 'a' {
+			m.Delta[0][b] = 1
+		} else {
+			m.Delta[0][b] = 0
+		}
+		// From state 1.
+		switch c {
+		case 'a':
+			m.Delta[1][b] = 1
+		case 'b':
+			m.Delta[1][b] = 2
+		default:
+			m.Delta[1][b] = 0
+		}
+		// From state 2.
+		if c == 'a' {
+			m.Delta[2][b] = 1
+		} else {
+			m.Delta[2][b] = 0
+		}
+	}
+	m.Emit = func(q State, b byte, _ int64) (byte, bool) {
+		if q == 1 && b == 'b' {
+			return '*', true
+		}
+		return 0, false
+	}
+	return m
+}
+
+func allStates(n int) []State {
+	out := make([]State, n)
+	for i := range out {
+		out[i] = State(i)
+	}
+	return out
+}
+
+func TestPaperMatchingExample(t *testing.T) {
+	// The running example from §3.1: the string "abab" split into single
+	// symbols, merged associatively, must produce finishing state 2
+	// ("3" in the paper) and "**" on the tape from every starting state.
+	m := abMatcher()
+	input := []byte("abab")
+	frags := make([]FSTFragment[byte], len(input))
+	for i := range input {
+		frags[i] = RunFragment(m, input[i:i+1], allStates(3), int64(i))
+	}
+	merged := frags[0]
+	var err error
+	for _, f := range frags[1:] {
+		merged, err = MergeFST(merged, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range merged.Starts {
+		if merged.Ends[i] != 2 {
+			t.Errorf("start %d: end = %d, want 2", s, merged.Ends[i])
+		}
+		if got := string(merged.Tapes[i]); got != "**" {
+			t.Errorf("start %d: tape = %q, want %q", s, got, "**")
+		}
+	}
+	// The per-symbol fragment for 'b' must be predicated: '*' only when
+	// the starting state was 1 (the paper's state 2).
+	bFrag := frags[1]
+	for i, s := range bFrag.Starts {
+		want := ""
+		if s == 1 {
+			want = "*"
+		}
+		if got := string(bFrag.Tapes[i]); got != want {
+			t.Errorf("'b' from start %d: tape %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestFragmentMatchesSequentialOracle(t *testing.T) {
+	// Split-invariance: any block partition must reproduce the
+	// sequential run exactly.
+	m := abMatcher()
+	rng := rand.New(rand.NewSource(5))
+	alphabet := []byte("abcab")
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(64) + 1
+		input := make([]byte, n)
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		wantState, wantTape := RunSequential(m, input)
+
+		// Random partition into blocks.
+		var frags []FSTFragment[byte]
+		for pos := 0; pos < n; {
+			size := rng.Intn(7) + 1
+			if pos+size > n {
+				size = n - pos
+			}
+			frags = append(frags, RunFragment(m, input[pos:pos+size], allStates(3), int64(pos)))
+			pos += size
+		}
+		merged := frags[0]
+		var err error
+		for _, f := range frags[1:] {
+			if merged, err = MergeFST(merged, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotState, gotTape, err := merged.Lookup(m.Start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotState != wantState {
+			t.Fatalf("trial %d: state %d, want %d (input %q)", trial, gotState, wantState, input)
+		}
+		if string(gotTape) != string(wantTape) {
+			t.Fatalf("trial %d: tape %q, want %q (input %q)", trial, gotTape, wantTape, input)
+		}
+	}
+}
+
+func TestMergeFSTAssociative(t *testing.T) {
+	m := abMatcher()
+	rng := rand.New(rand.NewSource(9))
+	alphabet := []byte("ab xy")
+	for trial := 0; trial < 100; trial++ {
+		blocks := make([][]byte, 3)
+		for i := range blocks {
+			b := make([]byte, rng.Intn(10)+1)
+			for j := range b {
+				b[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			blocks[i] = b
+		}
+		f := make([]FSTFragment[byte], 3)
+		off := int64(0)
+		for i, b := range blocks {
+			f[i] = RunFragment(m, b, allStates(3), off)
+			off += int64(len(b))
+		}
+		ab, err := MergeFST(f[0], f[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, err := MergeFST(ab, f[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := MergeFST(f[1], f[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := MergeFST(f[0], bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(left.Ends, right.Ends) {
+			t.Fatalf("ends differ: %v vs %v", left.Ends, right.Ends)
+		}
+		for i := range left.Tapes {
+			if string(left.Tapes[i]) != string(right.Tapes[i]) {
+				t.Fatalf("tape %d differs: %q vs %q", i, left.Tapes[i], right.Tapes[i])
+			}
+		}
+	}
+}
+
+func TestLookupUnknownState(t *testing.T) {
+	m := abMatcher()
+	f := RunFragment(m, []byte("ab"), []State{0, 1}, 0)
+	if _, _, err := f.Lookup(2); err == nil {
+		t.Error("Lookup of unspeculated state should fail")
+	}
+}
+
+func TestMergeFSTMissingSpeculation(t *testing.T) {
+	m := abMatcher()
+	a := RunFragment(m, []byte("a"), allStates(3), 0) // all runs end in state 1
+	b := RunFragment(m, []byte("b"), []State{0, 2}, 1)
+	if _, err := MergeFST(a, b); err == nil {
+		t.Error("merge should fail when b did not speculate a's finishing state")
+	}
+}
+
+// Counting transducer composed after the matcher: the paper's §3.2
+// example. Here composition is realised by draining the matcher's tape
+// into an AGT.
+func TestCountingComposition(t *testing.T) {
+	m := abMatcher()
+	counter := &AGT[byte, int]{
+		Identity:  func() int { return 0 },
+		Transform: func(byte) int { return 1 },
+		Combine:   func(a, b int) int { return a + b },
+	}
+	input := []byte("abcabababxab")
+	// Sequential oracle.
+	_, tape := RunSequential(m, input)
+	want := len(tape)
+
+	// Parallel: per block, run the matcher fragment and fold its tape
+	// (per starting state) into counting fragments.
+	type composite struct {
+		frag   FSTFragment[byte]
+		counts []int // predicated counting fragment per starting state
+	}
+	blocks := [][]byte{input[:3], input[3:4], input[4:9], input[9:]}
+	comps := make([]composite, len(blocks))
+	off := int64(0)
+	for i, blk := range blocks {
+		f := RunFragment(m, blk, allStates(3), off)
+		counts := make([]int, len(f.Starts))
+		for j := range f.Starts {
+			run := counter.NewRun()
+			for _, sym := range f.Tapes[j] {
+				run.Process(sym)
+			}
+			counts[j] = run.State()
+		}
+		comps[i] = composite{frag: f, counts: counts}
+		off += int64(len(blk))
+	}
+	// Merge: compose state maps; add the counting fragments selected by
+	// the left side's finishing states.
+	acc := comps[0]
+	for _, c := range comps[1:] {
+		merged := composite{
+			frag: FSTFragment[byte]{
+				Starts: acc.frag.Starts,
+				Ends:   make([]State, len(acc.frag.Starts)),
+			},
+			counts: make([]int, len(acc.frag.Starts)),
+		}
+		for i := range acc.frag.Starts {
+			end := acc.frag.Ends[i]
+			for j, s := range c.frag.Starts {
+				if s == end {
+					merged.frag.Ends[i] = c.frag.Ends[j]
+					merged.counts[i] = MergeAGT(counter, acc.counts[i], c.counts[j])
+					break
+				}
+			}
+		}
+		acc = merged
+	}
+	for i := range acc.frag.Starts {
+		if acc.counts[i] != want {
+			t.Errorf("start %d: count = %d, want %d", acc.frag.Starts[i], acc.counts[i], want)
+		}
+	}
+}
+
+func TestSLT(t *testing.T) {
+	double := MapSLT(func(x int) int { return 2 * x })
+	var got []int
+	double(21, func(v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("MapSLT = %v", got)
+	}
+	evens := FilterSLT(func(x int) bool { return x%2 == 0 })
+	got = nil
+	evens(3, func(v int) { got = append(got, v) })
+	evens(4, func(v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("FilterSLT = %v", got)
+	}
+}
+
+func TestAGTSumMatchesSequential(t *testing.T) {
+	sum := &AGT[int, int]{
+		Identity:  func() int { return 0 },
+		Transform: func(x int) int { return x },
+		Combine:   func(a, b int) int { return a + b },
+	}
+	f := func(xs []int16, cut uint8) bool {
+		vals := make([]int, len(xs))
+		want := 0
+		for i, x := range xs {
+			vals[i] = int(x)
+			want += int(x)
+		}
+		k := 0
+		if len(vals) > 0 {
+			k = int(cut) % (len(vals) + 1)
+		}
+		left := sum.NewRun()
+		for _, v := range vals[:k] {
+			left.Process(v)
+		}
+		right := sum.NewRun()
+		for _, v := range vals[k:] {
+			right.Process(v)
+		}
+		return MergeAGT(sum, left.State(), right.State()) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

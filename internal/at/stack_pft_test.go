@@ -1,0 +1,353 @@
+package at
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	symObj StackSym = iota + 1
+	symArr
+)
+
+// runDyck feeds a bracket string into a StackEffect via Push/Pop.
+func runDyck(s string) (StackEffect, bool) {
+	var e StackEffect
+	for _, c := range s {
+		switch c {
+		case '{':
+			e.Push(symObj)
+		case '[':
+			e.Push(symArr)
+		case '}':
+			if local, sym := e.Pop(symObj); local && sym != symObj {
+				return e, false
+			}
+		case ']':
+			if local, sym := e.Pop(symArr); local && sym != symArr {
+				return e, false
+			}
+		}
+	}
+	return e, true
+}
+
+func TestStackEffectBasics(t *testing.T) {
+	e, ok := runDyck("{[]}")
+	if !ok || !e.Balanced() {
+		t.Errorf("balanced string: effect %+v ok=%v", e, ok)
+	}
+	e, _ = runDyck("]}")
+	if len(e.Pops) != 2 || len(e.Pushes) != 0 {
+		t.Errorf("closers-only effect = %+v", e)
+	}
+	if e.Pops[0] != symArr || e.Pops[1] != symObj {
+		t.Errorf("pop order = %v", e.Pops)
+	}
+	e, _ = runDyck("{[")
+	if len(e.Pushes) != 2 || e.Depth() != 2 {
+		t.Errorf("openers-only effect = %+v", e)
+	}
+}
+
+func TestComposeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	chars := []byte("{}[]")
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40) + 1
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = chars[rng.Intn(4)]
+		}
+		if !dyckConsistent(string(s)) {
+			// Mismatched pairs abort the sequential run mid-block, so
+			// split effects are not comparable; cross-block mismatch
+			// detection is covered by TestComposeMismatchError.
+			continue
+		}
+		cut := rng.Intn(n + 1)
+		whole, _ := runDyck(string(s))
+		left, _ := runDyck(string(s[:cut]))
+		right, _ := runDyck(string(s[cut:]))
+		composed, err := Compose(left, right)
+		if err != nil {
+			t.Fatalf("compose error %v but sequence %q is consistent", err, s)
+		}
+		if !reflect.DeepEqual(normalizeEffect(composed), normalizeEffect(whole)) {
+			t.Fatalf("composed %+v != whole %+v for %q cut %d", composed, whole, s, cut)
+		}
+	}
+}
+
+// dyckConsistent reports whether every matched pair in s has matching
+// bracket kinds (unmatched brackets are allowed).
+func dyckConsistent(s string) bool {
+	var stack []byte
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{', '[':
+			stack = append(stack, s[i])
+		case '}':
+			if len(stack) > 0 {
+				if stack[len(stack)-1] != '{' {
+					return false
+				}
+				stack = stack[:len(stack)-1]
+			}
+		case ']':
+			if len(stack) > 0 {
+				if stack[len(stack)-1] != '[' {
+					return false
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return true
+}
+
+func normalizeEffect(e StackEffect) StackEffect {
+	out := StackEffect{}
+	if len(e.Pops) > 0 {
+		out.Pops = e.Pops
+	}
+	if len(e.Pushes) > 0 {
+		out.Pushes = e.Pushes
+	}
+	return out
+}
+
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	chars := []byte("{}[]")
+	for trial := 0; trial < 300; trial++ {
+		parts := make([]StackEffect, 3)
+		for i := range parts {
+			n := rng.Intn(8)
+			s := make([]byte, n)
+			for j := range s {
+				s[j] = chars[rng.Intn(4)]
+			}
+			parts[i], _ = runDyck(string(s))
+		}
+		ab, err1 := Compose(parts[0], parts[1])
+		var left StackEffect
+		var errL error
+		if err1 == nil {
+			left, errL = Compose(ab, parts[2])
+		}
+		bc, err2 := Compose(parts[1], parts[2])
+		var right StackEffect
+		var errR error
+		if err2 == nil {
+			right, errR = Compose(parts[0], bc)
+		}
+		leftFailed := err1 != nil || errL != nil
+		rightFailed := err2 != nil || errR != nil
+		if leftFailed != rightFailed {
+			t.Fatalf("associativity of failure differs: left=%v/%v right=%v/%v",
+				err1, errL, err2, errR)
+		}
+		if !leftFailed && !reflect.DeepEqual(normalizeEffect(left), normalizeEffect(right)) {
+			t.Fatalf("(a∘b)∘c = %+v, a∘(b∘c) = %+v", left, right)
+		}
+	}
+}
+
+func TestComposeMismatchError(t *testing.T) {
+	a, _ := runDyck("{") // pushes obj
+	b, _ := runDyck("]") // pops arr
+	if _, err := Compose(a, b); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestEmptyEffectIdentity(t *testing.T) {
+	e, _ := runDyck("{[}") // any effect
+	l, err := Compose(EmptyEffect(), e)
+	if err != nil || !reflect.DeepEqual(normalizeEffect(l), normalizeEffect(e)) {
+		t.Errorf("left identity failed: %+v %v", l, err)
+	}
+	r, err := Compose(e, EmptyEffect())
+	if err != nil || !reflect.DeepEqual(normalizeEffect(r), normalizeEffect(e)) {
+		t.Errorf("right identity failed: %+v %v", r, err)
+	}
+}
+
+// sumPFT aggregates runs of ints delimited by flushes, emitting run sums:
+// a miniature of the paper's polygon-bounding example.
+func sumPFT() *PFT[int, int, int] {
+	return &PFT[int, int, int]{
+		Init:    func() int { return 0 },
+		Step:    func(s, x int) int { return s + x },
+		Combine: func(a, b int) int { return a + b },
+		Finish:  func(s int) int { return s },
+	}
+}
+
+// pftOracle runs the sequential semantics: sum each run, flush emits.
+func pftOracle(syms []int, isFlush func(int) bool) []int {
+	var out []int
+	acc := 0
+	for _, s := range syms {
+		if isFlush(s) {
+			out = append(out, acc)
+			acc = 0
+		} else {
+			acc += s
+		}
+	}
+	out = append(out, acc) // trailing run
+	return out
+}
+
+func TestPFTMatchesSequential(t *testing.T) {
+	p := sumPFT()
+	isFlush := func(x int) bool { return x == -1 }
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60) + 1
+		syms := make([]int, n)
+		for i := range syms {
+			if rng.Intn(4) == 0 {
+				syms[i] = -1 // flush
+			} else {
+				syms[i] = rng.Intn(10) + 1
+			}
+		}
+		want := pftOracle(syms, isFlush)
+
+		// Random block partition.
+		var frags []PFTFragment[int, int]
+		for pos := 0; pos < n; {
+			size := rng.Intn(9) + 1
+			if pos+size > n {
+				size = n - pos
+			}
+			run := p.NewRun()
+			for _, s := range syms[pos : pos+size] {
+				if isFlush(s) {
+					run.Flush()
+				} else {
+					run.Process(s)
+				}
+			}
+			frags = append(frags, run.Fragment())
+			pos += size
+		}
+		merged := frags[0]
+		for _, f := range frags[1:] {
+			merged = MergePFT(p, merged, f)
+		}
+		got := FinalizePFT(p, merged, true, true)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: got %v, want %v (syms %v)", trial, got, want, syms)
+		}
+	}
+}
+
+func TestPFTMergeAssociative(t *testing.T) {
+	p := sumPFT()
+	isFlush := func(x int) bool { return x == -1 }
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		frags := make([]PFTFragment[int, int], 3)
+		for i := range frags {
+			run := p.NewRun()
+			for j := 0; j < rng.Intn(10); j++ {
+				v := rng.Intn(6) - 1
+				if isFlush(v) {
+					run.Flush()
+				} else {
+					run.Process(v + 1)
+				}
+			}
+			frags[i] = run.Fragment()
+		}
+		left := MergePFT(p, MergePFT(p, frags[0], frags[1]), frags[2])
+		right := MergePFT(p, frags[0], MergePFT(p, frags[1], frags[2]))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("not associative:\n left %+v\nright %+v", left, right)
+		}
+	}
+}
+
+func TestPFTEmptyBlocks(t *testing.T) {
+	p := sumPFT()
+	empty := p.NewRun().Fragment()
+	run := p.NewRun()
+	run.Process(5)
+	run.Flush()
+	run.Process(3)
+	f := run.Fragment()
+	// Empty fragment is the identity on both sides.
+	if got := MergePFT(p, empty, f); !reflect.DeepEqual(got, f) {
+		t.Errorf("empty ⊗ f = %+v, want %+v", got, f)
+	}
+	if got := MergePFT(p, f, empty); !reflect.DeepEqual(got, f) {
+		t.Errorf("f ⊗ empty = %+v, want %+v", got, f)
+	}
+}
+
+func TestPFTFlushOnlyBlock(t *testing.T) {
+	p := sumPFT()
+	run := p.NewRun()
+	run.Flush() // block begins exactly at a geometry boundary
+	flushOnly := run.Fragment()
+	if !flushOnly.Seen || flushOnly.Spec != 0 {
+		t.Fatalf("flush-only fragment = %+v", flushOnly)
+	}
+	// a=[1 2] (no flush), b=[flush] → merged run sums to 3 and completes.
+	runA := p.NewRun()
+	runA.Process(1)
+	runA.Process(2)
+	merged := MergePFT(p, runA.Fragment(), flushOnly)
+	got := FinalizePFT(p, merged, true, true)
+	if !reflect.DeepEqual(got, []int{3, 0}) {
+		t.Errorf("finalize = %v, want [3 0]", got)
+	}
+}
+
+func TestFinalizePFTFlags(t *testing.T) {
+	p := sumPFT()
+	run := p.NewRun()
+	run.Process(1)
+	run.Flush()
+	run.Process(2)
+	run.Flush()
+	run.Process(3)
+	f := run.Fragment()
+	if got := FinalizePFT(p, f, true, true); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("both: %v", got)
+	}
+	if got := FinalizePFT(p, f, false, true); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("no leading: %v", got)
+	}
+	if got := FinalizePFT(p, f, true, false); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("no trailing: %v", got)
+	}
+	if got := FinalizePFT(p, f, false, false); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("neither: %v", got)
+	}
+}
+
+func TestQuickStackDepth(t *testing.T) {
+	f := func(opens, closes uint8) bool {
+		var e StackEffect
+		for i := 0; i < int(opens%16); i++ {
+			e.Push(symObj)
+		}
+		for i := 0; i < int(closes%16); i++ {
+			e.Pop(symObj)
+		}
+		return e.Depth() == int(opens%16)-int(closes%16) ||
+			// pops of local pushes cancel: depth is opens-closes when
+			// closes <= opens, else -(closes-opens).
+			e.Depth() == -(int(closes%16)-int(opens%16))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

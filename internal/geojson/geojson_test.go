@@ -1,0 +1,440 @@
+package geojson
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"atgis/internal/geom"
+)
+
+// buildDoc writes a feature collection and returns the document bytes.
+func buildDoc(t *testing.T, feats []geom.Feature) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range feats {
+		w.WriteFeature(&feats[i])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testFeatures() []geom.Feature {
+	return []geom.Feature{
+		{ID: 1, Geom: geom.Polygon{{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 3}, {X: 0, Y: 3}, {X: 0, Y: 0}}},
+			Properties: map[string]string{"name": "alpha"}},
+		{ID: 2, Geom: geom.LineString{{X: 1.5, Y: -2.5}, {X: 2.5, Y: 3.5}}},
+		{ID: 3, Geom: geom.MultiPolygon{
+			{{{X: 10, Y: 10}, {X: 12, Y: 10}, {X: 12, Y: 12}, {X: 10, Y: 12}, {X: 10, Y: 10}}},
+			{{{X: 20, Y: 20}, {X: 22, Y: 20}, {X: 22, Y: 22}, {X: 20, Y: 22}, {X: 20, Y: 20}}},
+		}},
+		{ID: 4, Geom: geom.PointGeom{P: geom.Point{X: -77.5, Y: 38.25}}},
+		{ID: 5, Geom: geom.Collection{
+			geom.LineString{{X: 1.1, Y: 0.0}, {X: 1.2, Y: 1.0}},
+			geom.Polygon{{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 6, Y: 6}, {X: 5, Y: 5}}},
+		}},
+	}
+}
+
+func parseAll(t *testing.T, doc []byte, cfg *Config) []FeatureOut {
+	t.Helper()
+	var out []FeatureOut
+	if err := ParseSequential(doc, cfg, func(f FeatureOut) { out = append(out, f) }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSequentialRoundTrip(t *testing.T) {
+	feats := testFeatures()
+	doc := buildDoc(t, feats)
+	cfg := &Config{PropKeys: []string{"name"}}
+	got := parseAll(t, doc, cfg)
+	if len(got) != len(feats) {
+		t.Fatalf("parsed %d features, want %d", len(got), len(feats))
+	}
+	for i, f := range got {
+		want := feats[i]
+		if f.Feature.ID != want.ID {
+			t.Errorf("feature %d: id = %d, want %d", i, f.Feature.ID, want.ID)
+		}
+		if f.Feature.Geom == nil {
+			t.Fatalf("feature %d: nil geometry", i)
+		}
+		if f.Feature.Geom.Type() != want.Geom.Type() {
+			t.Errorf("feature %d: type = %v, want %v", i, f.Feature.Geom.Type(), want.Geom.Type())
+		}
+		if f.Feature.Geom.NumPoints() != want.Geom.NumPoints() {
+			t.Errorf("feature %d: points = %d, want %d",
+				i, f.Feature.Geom.NumPoints(), want.Geom.NumPoints())
+		}
+		if gb, wb := f.Feature.Geom.Bound(), want.Geom.Bound(); gb != wb {
+			t.Errorf("feature %d: bound = %+v, want %+v", i, gb, wb)
+		}
+	}
+	if got[0].Feature.Properties["name"] != "alpha" {
+		t.Errorf("property capture = %q, want alpha", got[0].Feature.Properties["name"])
+	}
+}
+
+func TestSequentialPaperListing(t *testing.T) {
+	// The paper's Listing 1: nested GeometryCollections with metadata.
+	doc := []byte(`{ "type": "FeatureCollection",
+  "features": [
+    { "type": "Feature",
+      "geometry": {
+        "type": "GeometryCollection",
+        "geometries": [
+          { "type": "GeometryCollection",
+            "geometries": [{"type": "LineString", "coordinates": [[0.5, 0.25],[2.0, 4.0]]}]},
+          { "type": "LineString",
+            "coordinates": [[1.1, 0.0],[1.2, 1.0]]}
+        ]},
+      "id": 1234,
+      "properties": { "note": "user data with ] } [ { inside" }
+    }
+  ]
+}`)
+	got := parseAll(t, doc, &Config{PropKeys: []string{"note"}})
+	if len(got) != 1 {
+		t.Fatalf("features = %d, want 1", len(got))
+	}
+	f := got[0].Feature
+	if f.ID != 1234 {
+		t.Errorf("id = %d, want 1234", f.ID)
+	}
+	coll, ok := f.Geom.(geom.Collection)
+	if !ok {
+		t.Fatalf("geometry type = %T, want Collection", f.Geom)
+	}
+	if len(coll) != 2 {
+		t.Fatalf("collection members = %d, want 2", len(coll))
+	}
+	inner, ok := coll[0].(geom.Collection)
+	if !ok || len(inner) != 1 {
+		t.Fatalf("nested collection = %#v", coll[0])
+	}
+	if f.Properties["note"] == "" {
+		t.Error("metadata with structural characters not captured")
+	}
+	if f.Geom.NumPoints() != 4 {
+		t.Errorf("total points = %d, want 4", f.Geom.NumPoints())
+	}
+}
+
+func TestParseFloatValues(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0}, {"1", 1}, {"-1", -1}, {"3.25", 3.25}, {"-0.5", -0.5},
+		{"1e3", 1000}, {"1.5e2", 150}, {"2E-2", 0.02}, {"-1.25e+1", -12.5},
+		{"123456.789", 123456.789},
+	}
+	for _, tc := range cases {
+		got, ok := parseFloat([]byte(tc.in))
+		if !ok {
+			t.Errorf("parseFloat(%q) failed", tc.in)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9*math.Max(1, math.Abs(tc.want)) {
+			t.Errorf("parseFloat(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, ok := parseFloat([]byte("abc")); ok {
+		t.Error("parseFloat of garbage should fail")
+	}
+}
+
+// featuresEqual compares two extraction results structurally.
+func featuresEqual(a, b []FeatureOut) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		fa, fb := a[i].Feature, b[i].Feature
+		if fa.ID != fb.ID {
+			return fmt.Errorf("feature %d: id %d vs %d", i, fa.ID, fb.ID)
+		}
+		if fa.Offset != fb.Offset {
+			return fmt.Errorf("feature %d: offset %d vs %d", i, fa.Offset, fb.Offset)
+		}
+		ga, gb := fa.Geom, fb.Geom
+		if (ga == nil) != (gb == nil) {
+			return fmt.Errorf("feature %d: nil geometry mismatch", i)
+		}
+		if ga != nil {
+			if ga.Type() != gb.Type() || ga.NumPoints() != gb.NumPoints() || ga.Bound() != gb.Bound() {
+				return fmt.Errorf("feature %d: geometry mismatch (%v/%d vs %v/%d)",
+					i, ga.Type(), ga.NumPoints(), gb.Type(), gb.NumPoints())
+			}
+		}
+		if len(fa.Properties) != len(fb.Properties) {
+			return fmt.Errorf("feature %d: props %v vs %v", i, fa.Properties, fb.Properties)
+		}
+		for k, v := range fa.Properties {
+			if fb.Properties[k] != v {
+				return fmt.Errorf("feature %d: prop %q %q vs %q", i, k, v, fb.Properties[k])
+			}
+		}
+	}
+	return nil
+}
+
+// runFAT splits doc at the given cut points and runs the FAT pipeline.
+func runFAT(doc []byte, cfg *Config, cuts []int64) ([]FeatureOut, int, error) {
+	var out []FeatureOut
+	fold := NewFold(doc, cfg, func(f FeatureOut) { out = append(out, f) })
+	prev := int64(0)
+	for _, c := range append(cuts, int64(len(doc))) {
+		if c <= prev {
+			continue
+		}
+		br := ProcessBlockFAT(doc, prev, c, cfg)
+		fold.Add(br)
+		prev = c
+	}
+	if err := fold.Finish(); err != nil {
+		return nil, fold.Reprocessed, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Feature.Offset < out[j].Feature.Offset })
+	return out, fold.Reprocessed, nil
+}
+
+func TestFATSplitInvariance(t *testing.T) {
+	feats := testFeatures()
+	doc := buildDoc(t, feats)
+	cfg := &Config{PropKeys: []string{"name"}}
+	want := parseAll(t, doc, cfg)
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		// Random cut points, including pathological 1-byte blocks.
+		var cuts []int64
+		n := rng.Intn(12)
+		for i := 0; i < n; i++ {
+			cuts = append(cuts, int64(rng.Intn(len(doc))))
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+		got, _, err := runFAT(doc, cfg, cuts)
+		if err != nil {
+			t.Fatalf("trial %d cuts %v: %v", trial, cuts, err)
+		}
+		if err := featuresEqual(got, want); err != nil {
+			t.Fatalf("trial %d cuts %v: %v", trial, cuts, err)
+		}
+	}
+}
+
+func TestFATFixedSizeBlocks(t *testing.T) {
+	feats := testFeatures()
+	doc := buildDoc(t, feats)
+	cfg := &Config{PropKeys: []string{"name"}}
+	want := parseAll(t, doc, cfg)
+	for _, blockSize := range []int{1, 7, 16, 64, 256, 100000} {
+		var cuts []int64
+		for c := int64(blockSize); c < int64(len(doc)); c += int64(blockSize) {
+			cuts = append(cuts, c)
+		}
+		got, _, err := runFAT(doc, cfg, cuts)
+		if err != nil {
+			t.Fatalf("block size %d: %v", blockSize, err)
+		}
+		if err := featuresEqual(got, want); err != nil {
+			t.Fatalf("block size %d: %v", blockSize, err)
+		}
+	}
+}
+
+func TestFATCutsInsideNumbersAndStrings(t *testing.T) {
+	doc := []byte(`{"type": "FeatureCollection", "features": [` +
+		`{"type": "Feature", "id": 123456, "geometry": {"type": "Point", "coordinates": [123.456789, -98.7654321]}, "properties": {"name": "split \"here\" ok"}}` +
+		`]}`)
+	cfg := &Config{PropKeys: []string{"name"}}
+	want := parseAll(t, doc, cfg)
+	// Cut at every single position.
+	for cut := int64(1); cut < int64(len(doc)); cut++ {
+		got, _, err := runFAT(doc, cfg, []int64{cut})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := featuresEqual(got, want); err != nil {
+			t.Fatalf("cut %d (%q|%q): %v", cut, doc[maxInt(0, int(cut)-10):cut], doc[cut:minInt(len(doc), int(cut)+10)], err)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFATAdversarialMetadata(t *testing.T) {
+	// Free-form metadata containing the feature tag as a *string* (the
+	// lexer handles this via variants) and as a real nested object (the
+	// fold's validation catches it and reprocesses).
+	doc := []byte(`{"type": "FeatureCollection", "features": [` +
+		`{"type": "Feature", "id": 1, "geometry": {"type": "Point", "coordinates": [1, 2]}, ` +
+		`"properties": {"fake": "{\"type\": \"Feature\", \"id\": 999}"}},` +
+		`{"type": "Feature", "id": 2, "geometry": {"type": "Point", "coordinates": [3, 4]}, ` +
+		`"properties": {"nested": {"type": "Feature", "id": 888}}}` +
+		`]}`)
+	cfg := &Config{}
+	want := parseAll(t, doc, cfg)
+	if len(want) != 2 {
+		t.Fatalf("oracle features = %d, want 2", len(want))
+	}
+	for _, f := range want {
+		if f.Feature.ID != 1 && f.Feature.ID != 2 {
+			t.Fatalf("oracle leaked fake feature id %d", f.Feature.ID)
+		}
+	}
+	// Exhaustive single cuts: no fake features may leak.
+	for cut := int64(1); cut < int64(len(doc)); cut++ {
+		got, _, err := runFAT(doc, cfg, []int64{cut})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := featuresEqual(got, want); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+	}
+}
+
+func TestPATBoundariesAndSplitInvariance(t *testing.T) {
+	feats := testFeatures()
+	doc := buildDoc(t, feats)
+	cfg := &Config{PropKeys: []string{"name"}}
+	want := parseAll(t, doc, cfg)
+
+	bounds := FindFeatureBoundaries(doc, 1)
+	if len(bounds) != len(feats) {
+		t.Fatalf("boundaries = %d, want %d", len(bounds), len(feats))
+	}
+	for _, minGap := range []int{1, 50, 200, 1 << 20} {
+		bs := FindFeatureBoundaries(doc, minGap)
+		if len(bs) == 0 {
+			t.Fatalf("minGap %d: no boundaries", minGap)
+		}
+		var got []FeatureOut
+		fold := NewPATFold(doc, cfg, func(f FeatureOut) { got = append(got, f) })
+		fold.Header(bs[0])
+		for i, b := range bs {
+			end := int64(len(doc))
+			if i+1 < len(bs) {
+				end = bs[i+1]
+			}
+			fold.Add(ProcessBlockPAT(doc, b, end, cfg))
+		}
+		if err := fold.Finish(int64(len(doc))); err != nil {
+			t.Fatalf("minGap %d: %v", minGap, err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].Feature.Offset < got[j].Feature.Offset })
+		if err := featuresEqual(got, want); err != nil {
+			t.Fatalf("minGap %d: %v", minGap, err)
+		}
+	}
+}
+
+func TestPATAdversarialMetadataRepairs(t *testing.T) {
+	// A fake tag inside a metadata string creates a bogus boundary; the
+	// fold must detect the spill-over and repair sequentially.
+	var sb strings.Builder
+	sb.WriteString(`{"type": "FeatureCollection", "features": [`)
+	for i := 0; i < 6; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		if i == 2 {
+			// Embed an unescaped-looking but quoted fake boundary.
+			sb.WriteString(`{"type": "Feature", "id": 2, "geometry": {"type": "Point", "coordinates": [2, 2]}, ` +
+				`"properties": {"payload": "xx {\"type\": \"Feature\" yy"}}`)
+			continue
+		}
+		fmt.Fprintf(&sb, `{"type": "Feature", "id": %d, "geometry": {"type": "Point", "coordinates": [%d, %d]}, "properties": {}}`, i, i, i)
+	}
+	sb.WriteString(`]}`)
+	doc := []byte(sb.String())
+	cfg := &Config{}
+	want := parseAll(t, doc, cfg)
+	if len(want) != 6 {
+		t.Fatalf("oracle = %d features", len(want))
+	}
+
+	bounds := FindFeatureBoundaries(doc, 1)
+	var got []FeatureOut
+	fold := NewPATFold(doc, cfg, func(f FeatureOut) { got = append(got, f) })
+	fold.Header(bounds[0])
+	for i, b := range bounds {
+		end := int64(len(doc))
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		fold.Add(ProcessBlockPAT(doc, b, end, cfg))
+	}
+	if err := fold.Finish(int64(len(doc))); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Feature.Offset < got[j].Feature.Offset })
+	if err := featuresEqual(got, want); err != nil {
+		t.Fatalf("after repairs (%d): %v", fold.Repaired, err)
+	}
+}
+
+func TestEvalHookRunsPerFeature(t *testing.T) {
+	feats := testFeatures()
+	doc := buildDoc(t, feats)
+	cfg := &Config{
+		Eval: func(f *geom.Feature) any { return f.Geom.NumPoints() },
+	}
+	got, _, err := runFAT(doc, cfg, []int64{int64(len(doc) / 3), int64(2 * len(doc) / 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range got {
+		if f.Val == nil {
+			t.Fatalf("feature %d: Eval result missing", i)
+		}
+		if f.Val.(int) != f.Feature.Geom.NumPoints() {
+			t.Errorf("feature %d: Val = %v", i, f.Val)
+		}
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	bad := [][]byte{
+		[]byte(`{"type": "FeatureCollection", "features": [}`),
+		[]byte(`{"features": [{"type": "Feature"]}`),
+	}
+	for _, doc := range bad {
+		err := ParseSequential(doc, &Config{}, func(FeatureOut) {})
+		if err == nil {
+			t.Errorf("no error for %q", doc)
+		}
+	}
+	// Truncated input: no error from the machine (frames remain open);
+	// the fold surfaces it.
+	doc := []byte(`{"type": "FeatureCollection", "features": [{"type": "Feature"`)
+	var fold *Fold
+	fold = NewFold(doc, &Config{}, func(FeatureOut) {})
+	fold.Add(ProcessBlockFAT(doc, 0, int64(len(doc)), &Config{}))
+	if err := fold.Finish(); err == nil {
+		t.Error("truncated document should fail Finish")
+	}
+}

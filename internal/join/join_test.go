@@ -1,0 +1,196 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"atgis/internal/geom"
+	"atgis/internal/partition"
+)
+
+// makeWorld builds two random square sets plus reparsers keyed by
+// synthetic offsets.
+func makeWorld(seed int64, nA, nB int) (as, bs []geom.Feature, reA, reB Reparser) {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n int, base int64) ([]geom.Feature, map[int64]geom.Geometry) {
+		feats := make([]geom.Feature, n)
+		byOff := make(map[int64]geom.Geometry, n)
+		for i := range feats {
+			x := rng.Float64() * 90
+			y := rng.Float64() * 90
+			s := rng.Float64()*5 + 0.2
+			g := geom.Polygon{geom.Ring{
+				{X: x, Y: y}, {X: x + s, Y: y}, {X: x + s, Y: y + s}, {X: x, Y: y + s}, {X: x, Y: y},
+			}}
+			off := base + int64(i*10)
+			feats[i] = geom.Feature{ID: base + int64(i), Geom: g, Offset: off}
+			byOff[off] = g
+		}
+		return feats, byOff
+	}
+	as, ma := mk(nA, 0)
+	bs, mb := mk(nB, 1_000_000)
+	reA = func(off int64) (geom.Geometry, error) {
+		g, ok := ma[off]
+		if !ok {
+			return nil, fmt.Errorf("missing offset %d", off)
+		}
+		return g, nil
+	}
+	reB = func(off int64) (geom.Geometry, error) {
+		g, ok := mb[off]
+		if !ok {
+			return nil, fmt.Errorf("missing offset %d", off)
+		}
+		return g, nil
+	}
+	return as, bs, reA, reB
+}
+
+func buildSets(as, bs []geom.Feature, cellSize float64, kind partition.StoreKind) (*partition.Set, *partition.Set) {
+	extent := geom.Box{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	g := partition.NewGrid(extent, cellSize)
+	sa := partition.NewSet(g, kind)
+	sb := partition.NewSet(g, kind)
+	for _, f := range as {
+		sa.Insert(partition.Entry{Box: f.Geom.Bound(), Off: f.Offset, ID: f.ID})
+	}
+	for _, f := range bs {
+		sb.Insert(partition.Entry{Box: f.Geom.Bound(), Off: f.Offset, ID: f.ID})
+	}
+	return sa, sb
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJoinMatchesNestedLoop(t *testing.T) {
+	as, bs, reA, reB := makeWorld(42, 80, 70)
+	want := NestedLoop(as, bs, geom.Intersects)
+	if len(want) == 0 {
+		t.Fatal("oracle found no pairs; bad test data")
+	}
+	for _, cellSize := range []float64{5, 10, 25, 100} {
+		for _, kind := range []partition.StoreKind{partition.ArrayStore, partition.ListStore} {
+			sa, sb := buildSets(as, bs, cellSize, kind)
+			got, st, err := Run(sa, sb, Config{
+				Predicate: geom.Intersects,
+				ReparseA:  reA,
+				ReparseB:  reB,
+				Workers:   2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pairsEqual(got, want) {
+				t.Fatalf("cell %v store %v: %d pairs, want %d",
+					cellSize, kind, len(got), len(want))
+			}
+			if st.Candidates < int64(len(want)) {
+				t.Errorf("candidates %d < results %d", st.Candidates, len(want))
+			}
+		}
+	}
+}
+
+func TestJoinDuplicateElimination(t *testing.T) {
+	// Two large overlapping squares straddling many cells: the pair is
+	// found in every shared cell and must appear once.
+	a := geom.Feature{ID: 1, Offset: 0,
+		Geom: geom.Polygon{geom.Ring{{X: 10, Y: 10}, {X: 60, Y: 10}, {X: 60, Y: 60}, {X: 10, Y: 60}, {X: 10, Y: 10}}}}
+	b := geom.Feature{ID: 2, Offset: 1_000_000,
+		Geom: geom.Polygon{geom.Ring{{X: 30, Y: 30}, {X: 80, Y: 30}, {X: 80, Y: 80}, {X: 30, Y: 80}, {X: 30, Y: 30}}}}
+	reA := func(int64) (geom.Geometry, error) { return a.Geom, nil }
+	reB := func(int64) (geom.Geometry, error) { return b.Geom, nil }
+	sa, sb := buildSets([]geom.Feature{a}, []geom.Feature{b}, 10, partition.ArrayStore)
+	got, st, err := Run(sa, sb, Config{Predicate: geom.Intersects, ReparseA: reA, ReparseB: reB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(got))
+	}
+	if st.Duplicates == 0 {
+		t.Error("expected duplicates from straddling objects")
+	}
+}
+
+func TestJoinSortThresholdAndCache(t *testing.T) {
+	as, bs, reA, reB := makeWorld(7, 60, 60)
+	want := NestedLoop(as, bs, geom.Intersects)
+	sa, sb := buildSets(as, bs, 10, partition.ArrayStore)
+	for _, thr := range []int{1, 3, 16, 1000} {
+		for _, cache := range []int{0, 1, 8} {
+			got, _, err := Run(sa, sb, Config{
+				Predicate:     geom.Intersects,
+				ReparseA:      reA,
+				ReparseB:      reB,
+				SortThreshold: thr,
+				CacheSize:     cache,
+				Workers:       2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pairsEqual(got, want) {
+				t.Fatalf("thr %d cache %d: %d pairs, want %d", thr, cache, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestJoinCacheCountsHits(t *testing.T) {
+	as, bs, reA, reB := makeWorld(13, 40, 5)
+	sa, sb := buildSets(as, bs, 100, partition.ArrayStore) // one cell
+	_, st, err := Run(sa, sb, Config{
+		Predicate: geom.Intersects, ReparseA: reA, ReparseB: reB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 5 b-objects against 40 a-objects in one cell, the b cache
+	// must serve repeats.
+	if st.CacheHits == 0 && st.Candidates > 10 {
+		t.Errorf("no cache hits over %d candidates", st.Candidates)
+	}
+}
+
+func TestJoinReparseError(t *testing.T) {
+	// Two overlapping squares guarantee a candidate pair.
+	a := geom.Feature{ID: 1, Offset: 0,
+		Geom: geom.Polygon{geom.Ring{{X: 1, Y: 1}, {X: 5, Y: 1}, {X: 5, Y: 5}, {X: 1, Y: 5}, {X: 1, Y: 1}}}}
+	b := geom.Feature{ID: 2, Offset: 1_000_000,
+		Geom: geom.Polygon{geom.Ring{{X: 2, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 6}, {X: 2, Y: 6}, {X: 2, Y: 2}}}}
+	sa, sb := buildSets([]geom.Feature{a}, []geom.Feature{b}, 10, partition.ArrayStore)
+	bad := func(int64) (geom.Geometry, error) { return nil, fmt.Errorf("boom") }
+	good := func(int64) (geom.Geometry, error) { return b.Geom, nil }
+	if _, _, err := Run(sa, sb, Config{Predicate: geom.Intersects, ReparseA: bad, ReparseB: good}); err == nil {
+		t.Error("reparse error on side A should propagate")
+	}
+	goodA := func(int64) (geom.Geometry, error) { return a.Geom, nil }
+	if _, _, err := Run(sa, sb, Config{Predicate: geom.Intersects, ReparseA: goodA, ReparseB: bad}); err == nil {
+		t.Error("reparse error on side B should propagate")
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	as, _, reA, reB := makeWorld(9, 10, 0)
+	sa, sb := buildSets(as, nil, 10, partition.ArrayStore)
+	got, _, err := Run(sa, sb, Config{Predicate: geom.Intersects, ReparseA: reA, ReparseB: reB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("pairs with empty side = %d", len(got))
+	}
+}

@@ -1,0 +1,221 @@
+// Package lexer provides the byte-level finite-state transducers that
+// form the first stage of every AT-GIS pipeline (paper §4.4(1)).
+//
+// The JSON lexer extracts the structural skeleton of a block: braces,
+// brackets, commas, colons and string boundaries. It has three states —
+// Default, InString and InEscape — so fully-associative execution only
+// speculates over three starting states, and speculative runs converge at
+// the first unescaped quote (paper §3.3: format structure bounds the
+// start-state set).
+//
+// Primitive values (numbers, literals) are not tokenised; downstream
+// extraction reads them from the raw input between structural tokens,
+// which keeps the lexer's transition table minimal and is exactly the
+// separation AT-GIS uses between structural parsing and the point-parser
+// SLT.
+package lexer
+
+import "atgis/internal/at"
+
+// JSON lexer states.
+const (
+	JSONDefault at.State = iota
+	JSONInString
+	JSONInEscape
+	jsonNumStates
+)
+
+// Kind classifies a structural token.
+type Kind uint8
+
+// Structural token kinds.
+const (
+	KindObjOpen Kind = iota + 1
+	KindObjClose
+	KindArrOpen
+	KindArrClose
+	KindComma
+	KindColon
+	KindStrBegin // offset of the quote opening a string
+	KindStrEnd   // offset of the quote closing a string
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindObjOpen:
+		return "{"
+	case KindObjClose:
+		return "}"
+	case KindArrOpen:
+		return "["
+	case KindArrClose:
+		return "]"
+	case KindComma:
+		return ","
+	case KindColon:
+		return ":"
+	case KindStrBegin:
+		return `"…`
+	case KindStrEnd:
+		return `…"`
+	default:
+		return "?"
+	}
+}
+
+// Token is one structural symbol with its absolute input offset.
+type Token struct {
+	Kind Kind
+	Off  int64
+}
+
+// JSONStartStates returns the full speculative start-state set.
+func JSONStartStates() []at.State {
+	return []at.State{JSONDefault, JSONInString, JSONInEscape}
+}
+
+// ScanJSON lexes block starting in state q, emitting structural tokens
+// with offsets relative to baseOff. It returns the finishing state. This
+// is the hand-specialised ("compiled", in the paper's g++ sense) form of
+// the table-driven FST below; both implementations are kept and
+// cross-checked by tests.
+func ScanJSON(q at.State, block []byte, baseOff int64, emit func(Token)) at.State {
+	for i := 0; i < len(block); i++ {
+		b := block[i]
+		switch q {
+		case JSONDefault:
+			switch b {
+			case '{':
+				emit(Token{KindObjOpen, baseOff + int64(i)})
+			case '}':
+				emit(Token{KindObjClose, baseOff + int64(i)})
+			case '[':
+				emit(Token{KindArrOpen, baseOff + int64(i)})
+			case ']':
+				emit(Token{KindArrClose, baseOff + int64(i)})
+			case ',':
+				emit(Token{KindComma, baseOff + int64(i)})
+			case ':':
+				emit(Token{KindColon, baseOff + int64(i)})
+			case '"':
+				emit(Token{KindStrBegin, baseOff + int64(i)})
+				q = JSONInString
+			}
+		case JSONInString:
+			switch b {
+			case '"':
+				emit(Token{KindStrEnd, baseOff + int64(i)})
+				q = JSONDefault
+			case '\\':
+				q = JSONInEscape
+			}
+		case JSONInEscape:
+			q = JSONInString
+		}
+	}
+	return q
+}
+
+// NewJSONFST builds the table-driven FST equivalent of ScanJSON, used by
+// the at-framework tests and as the reference model.
+func NewJSONFST() *at.FST[Token] {
+	m := &at.FST[Token]{NumStates: int(jsonNumStates), Start: JSONDefault}
+	m.Delta = make([][256]at.State, jsonNumStates)
+	for b := 0; b < 256; b++ {
+		m.Delta[JSONDefault][b] = JSONDefault
+		m.Delta[JSONInString][b] = JSONInString
+		m.Delta[JSONInEscape][b] = JSONInString
+	}
+	m.Delta[JSONDefault]['"'] = JSONInString
+	m.Delta[JSONInString]['"'] = JSONDefault
+	m.Delta[JSONInString]['\\'] = JSONInEscape
+	m.Emit = func(q at.State, b byte, off int64) (Token, bool) {
+		switch q {
+		case JSONDefault:
+			switch b {
+			case '{':
+				return Token{KindObjOpen, off}, true
+			case '}':
+				return Token{KindObjClose, off}, true
+			case '[':
+				return Token{KindArrOpen, off}, true
+			case ']':
+				return Token{KindArrClose, off}, true
+			case ',':
+				return Token{KindComma, off}, true
+			case ':':
+				return Token{KindColon, off}, true
+			case '"':
+				return Token{KindStrBegin, off}, true
+			}
+		case JSONInString:
+			if b == '"' {
+				return Token{KindStrEnd, off}, true
+			}
+		}
+		return Token{}, false
+	}
+	return m
+}
+
+// JSONVariant is the result of lexing one block from one or more
+// speculated starting states whose runs produced identical token streams
+// (the paper's convergence property, §3.1, lets converged runs share one
+// tape).
+type JSONVariant struct {
+	// Starts lists every speculated start state covered by this variant.
+	Starts []at.State
+	// End is the finishing state.
+	End at.State
+	// Tokens is the shared structural token stream.
+	Tokens []Token
+}
+
+// LexJSONSpeculative lexes a block from every starting state,
+// deduplicating runs that converge to identical token streams.
+func LexJSONSpeculative(block []byte, baseOff int64) []JSONVariant {
+	variants := make([]JSONVariant, 0, 3)
+	for _, start := range JSONStartStates() {
+		var toks []Token
+		end := ScanJSON(start, block, baseOff, func(t Token) { toks = append(toks, t) })
+		dup := false
+		for i := range variants {
+			if variants[i].End == end && tokensEqual(variants[i].Tokens, toks) {
+				variants[i].Starts = append(variants[i].Starts, start)
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			variants = append(variants, JSONVariant{
+				Starts: []at.State{start}, End: end, Tokens: toks,
+			})
+		}
+	}
+	return variants
+}
+
+// VariantFor returns the variant valid when the block's true starting
+// state is q, or false if q was not speculated.
+func VariantFor(variants []JSONVariant, q at.State) (JSONVariant, bool) {
+	for _, v := range variants {
+		for _, s := range v.Starts {
+			if s == q {
+				return v, true
+			}
+		}
+	}
+	return JSONVariant{}, false
+}
+
+func tokensEqual(a, b []Token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

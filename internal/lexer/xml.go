@@ -1,0 +1,122 @@
+package lexer
+
+import "atgis/internal/at"
+
+// XML lexer: the second byte-level FST of the paper (§3.3). Its state
+// space is larger than JSON's, but the paper observes that a block
+// starting at a '<' character can only be in three states — inside a
+// comment, inside a CDATA section, or at markup — which is the
+// sync-character trick XMLSyncStates exposes.
+
+// XML lexer states.
+const (
+	XMLText    at.State = iota // character data between tags
+	XMLTag                     // inside <...>
+	XMLAttr                    // inside a quoted attribute value
+	XMLComment                 // inside <!-- ... -->
+	XMLCDATA                   // inside <![CDATA[ ... ]]>
+	xmlNumStates
+)
+
+// XML token kinds (continuing the Kind space of the JSON lexer).
+const (
+	KindTagOpen  Kind = 100 + iota // offset of '<' starting an element tag
+	KindTagClose                   // offset of '>' ending an element tag
+)
+
+// ScanXML lexes block from state q, emitting tag-boundary tokens with
+// absolute offsets. The machine recognises comments and CDATA sections
+// so that markup characters inside them are not tokenised — the property
+// that makes naive XML splitting unsound (paper §2.2).
+//
+// Comment and CDATA openers are detected by lookahead at the '<'; exits
+// are detected by matching the closing delimiters byte-by-byte, tracked
+// with the aux counter folded into the state transitions below.
+func ScanXML(q at.State, block []byte, baseOff int64, emit func(Token)) at.State {
+	i := 0
+	n := len(block)
+	for i < n {
+		b := block[i]
+		switch q {
+		case XMLText:
+			if b == '<' {
+				// Lookahead classifies the construct.
+				switch {
+				case hasPrefixAt(block, i, "<!--"):
+					q = XMLComment
+					i += 4
+					continue
+				case hasPrefixAt(block, i, "<![CDATA["):
+					q = XMLCDATA
+					i += 9
+					continue
+				default:
+					emit(Token{KindTagOpen, baseOff + int64(i)})
+					q = XMLTag
+				}
+			}
+		case XMLTag:
+			switch b {
+			case '>':
+				emit(Token{KindTagClose, baseOff + int64(i)})
+				q = XMLText
+			case '"':
+				q = XMLAttr
+			}
+		case XMLAttr:
+			if b == '"' {
+				q = XMLTag
+			}
+		case XMLComment:
+			if b == '-' && hasPrefixAt(block, i, "-->") {
+				q = XMLText
+				i += 3
+				continue
+			}
+		case XMLCDATA:
+			if b == ']' && hasPrefixAt(block, i, "]]>") {
+				q = XMLText
+				i += 3
+				continue
+			}
+		}
+		i++
+	}
+	return q
+}
+
+func hasPrefixAt(b []byte, i int, p string) bool {
+	if i+len(p) > len(b) {
+		return false
+	}
+	return string(b[i:i+len(p)]) == p
+}
+
+// XMLSyncStates returns the reduced speculative start-state set for a
+// block that begins at a '<' character: comment, CDATA, or text (the
+// paper's three states). Blocks not aligned to '<' must speculate over
+// the full state set returned by XMLAllStates.
+func XMLSyncStates() []at.State {
+	return []at.State{XMLText, XMLComment, XMLCDATA}
+}
+
+// XMLAllStates returns every lexer state.
+func XMLAllStates() []at.State {
+	out := make([]at.State, xmlNumStates)
+	for i := range out {
+		out[i] = at.State(i)
+	}
+	return out
+}
+
+// AdvanceToXMLSync returns the offset of the first '<' at or after from,
+// or -1. Splitters use it to place block boundaries at sync characters,
+// shrinking the speculative start-state set from five to three.
+func AdvanceToXMLSync(input []byte, from int64) int64 {
+	for i := from; i < int64(len(input)); i++ {
+		if input[i] == '<' {
+			return i
+		}
+	}
+	return -1
+}

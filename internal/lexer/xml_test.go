@@ -1,0 +1,141 @@
+package lexer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"atgis/internal/at"
+)
+
+func scanXML(q at.State, input string) ([]Token, at.State) {
+	var toks []Token
+	end := ScanXML(q, []byte(input), 0, func(t Token) { toks = append(toks, t) })
+	return toks, end
+}
+
+func TestScanXMLTags(t *testing.T) {
+	toks, end := scanXML(XMLText, `<node id="1"/><way></way>`)
+	want := []Kind{KindTagOpen, KindTagClose, KindTagOpen, KindTagClose, KindTagOpen, KindTagClose}
+	got := make([]Kind, len(toks))
+	for i, tk := range toks {
+		got[i] = tk.Kind
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("kinds = %v, want %v", got, want)
+	}
+	if end != XMLText {
+		t.Errorf("end state = %d", end)
+	}
+}
+
+func TestScanXMLCommentHidesMarkup(t *testing.T) {
+	toks, end := scanXML(XMLText, `<!-- <node> < > --><tag/>`)
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %v, want only the real tag pair", toks)
+	}
+	if toks[0].Off != 19 {
+		t.Errorf("tag open offset = %d, want 19", toks[0].Off)
+	}
+	if end != XMLText {
+		t.Errorf("end = %d", end)
+	}
+	// Unterminated comment leaves the comment state.
+	if _, end := scanXML(XMLText, `<!-- unfinished`); end != XMLComment {
+		t.Errorf("end = %d, want comment", end)
+	}
+}
+
+func TestScanXMLCDATAHidesMarkup(t *testing.T) {
+	toks, end := scanXML(XMLText, `<![CDATA[ <way> ]]><node/>`)
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if end != XMLText {
+		t.Errorf("end = %d", end)
+	}
+	if _, end := scanXML(XMLText, `<![CDATA[ open`); end != XMLCDATA {
+		t.Errorf("end = %d, want CDATA", end)
+	}
+}
+
+func TestScanXMLAttributesHideGT(t *testing.T) {
+	// '>' inside a quoted attribute value must not close the tag.
+	toks, _ := scanXML(XMLText, `<tag k=">" v="a<b"/>`)
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %v, want 2", toks)
+	}
+	if toks[1].Off != int64(len(`<tag k=">" v="a<b"/`)) {
+		t.Errorf("close offset = %d", toks[1].Off)
+	}
+}
+
+func TestXMLSplitInvarianceAtSyncPoints(t *testing.T) {
+	doc := []byte(`<osm><!-- note < > --><node id="1" lat="2"/>` +
+		`<![CDATA[ <fake/> ]]><way><nd ref="1"/></way></osm>`)
+	var want []Token
+	ScanXML(XMLText, doc, 0, func(tk Token) { want = append(want, tk) })
+
+	// Split at '<' sync characters and chain the states; the token
+	// stream must be identical.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		var got []Token
+		state := XMLText
+		pos := int64(0)
+		for pos < int64(len(doc)) {
+			next := pos + int64(rng.Intn(25)+1)
+			if next >= int64(len(doc)) {
+				next = int64(len(doc))
+			} else if s := AdvanceToXMLSync(doc, next); s >= 0 {
+				next = s
+			} else {
+				next = int64(len(doc))
+			}
+			state = ScanXML(state, doc[pos:next], pos, func(tk Token) { got = append(got, tk) })
+			pos = next
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: %d tokens vs %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestXMLSyncStateReduction(t *testing.T) {
+	// The paper's claim: at a '<' boundary only three states are
+	// possible. Verify by running the lexer from every state over
+	// prefixes of a document and checking the state at '<' positions.
+	doc := []byte(`<a><!-- x --><b k="v"><![CDATA[y]]></b></a>`)
+	state := XMLText
+	for i := 0; i < len(doc); i++ {
+		if doc[i] == '<' {
+			found := false
+			for _, s := range XMLSyncStates() {
+				if state == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("offset %d: state %d not in sync set", i, state)
+			}
+		}
+		state = ScanXML(state, doc[i:i+1], int64(i), func(Token) {})
+	}
+	if len(XMLSyncStates()) != 3 {
+		t.Errorf("sync states = %d, want 3", len(XMLSyncStates()))
+	}
+	if len(XMLAllStates()) != int(xmlNumStates) {
+		t.Errorf("all states = %d", len(XMLAllStates()))
+	}
+}
+
+func TestAdvanceToXMLSync(t *testing.T) {
+	doc := []byte(`abc<tag>`)
+	if got := AdvanceToXMLSync(doc, 0); got != 3 {
+		t.Errorf("sync = %d, want 3", got)
+	}
+	if got := AdvanceToXMLSync(doc, 4); got != -1 {
+		t.Errorf("sync after last '<' = %d, want -1", got)
+	}
+}

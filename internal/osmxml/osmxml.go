@@ -1,0 +1,497 @@
+// Package osmxml processes OpenStreetMap XML, the most complex input
+// format AT-GIS supports (paper §4.4(1)): point data (nodes) is separated
+// from topology (ways and relations), so query execution makes multiple
+// passes, building a temporary node/way table during the first pass and
+// assembling geometries from references afterwards.
+//
+// Planet-style dumps keep one element per line, so blocks split at
+// element boundaries — the partially-associative strategy the paper finds
+// optimal for line-structured data. The paper's on-disk temporary table
+// is substituted by an in-memory sharded table (documented in DESIGN.md).
+package osmxml
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"atgis/internal/geom"
+)
+
+// NodeTable maps node ids to positions. It is sharded to allow the
+// parallel first pass to insert with low contention, standing in for the
+// paper's on-disk temporary table.
+type NodeTable struct {
+	shards [64]nodeShard
+}
+
+type nodeShard struct {
+	mu sync.Mutex
+	m  map[int64]geom.Point
+}
+
+// NewNodeTable returns an empty table.
+func NewNodeTable() *NodeTable {
+	t := &NodeTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[int64]geom.Point)
+	}
+	return t
+}
+
+func (t *NodeTable) shard(id int64) *nodeShard {
+	return &t.shards[uint64(id)%uint64(len(t.shards))]
+}
+
+// Put inserts a node.
+func (t *NodeTable) Put(id int64, p geom.Point) {
+	s := t.shard(id)
+	s.mu.Lock()
+	s.m[id] = p
+	s.mu.Unlock()
+}
+
+// Get looks up a node.
+func (t *NodeTable) Get(id int64) (geom.Point, bool) {
+	s := t.shard(id)
+	s.mu.Lock()
+	p, ok := s.m[id]
+	s.mu.Unlock()
+	return p, ok
+}
+
+// Len returns the number of stored nodes.
+func (t *NodeTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += len(t.shards[i].m)
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Way is a parsed way element.
+type Way struct {
+	ID   int64
+	Refs []int64
+	Tags map[string]string
+	Off  int64
+}
+
+// Relation is a parsed relation element.
+type Relation struct {
+	ID      int64
+	Members []Member
+	Tags    map[string]string
+	Off     int64
+}
+
+// Member references a way or node from a relation.
+type Member struct {
+	Type string // "way" or "node"
+	Ref  int64
+	Role string // "outer" or "inner"
+}
+
+// WayTable stores parsed ways for relation assembly.
+type WayTable struct {
+	mu sync.Mutex
+	m  map[int64]*Way
+}
+
+// NewWayTable returns an empty table.
+func NewWayTable() *WayTable { return &WayTable{m: make(map[int64]*Way)} }
+
+// Put inserts a way.
+func (t *WayTable) Put(w *Way) {
+	t.mu.Lock()
+	t.m[w.ID] = w
+	t.mu.Unlock()
+}
+
+// Get looks up a way.
+func (t *WayTable) Get(id int64) (*Way, bool) {
+	t.mu.Lock()
+	w, ok := t.m[id]
+	t.mu.Unlock()
+	return w, ok
+}
+
+// attrScanner extracts attribute values from one XML element line.
+type attrScanner struct {
+	b []byte
+}
+
+// attr returns the value of the named attribute, or "" if absent.
+func (s attrScanner) attr(name string) []byte {
+	pat := name + `="`
+	for i := 0; i+len(pat) < len(s.b); i++ {
+		if s.b[i] != pat[0] {
+			continue
+		}
+		if string(s.b[i:i+len(pat)]) != pat {
+			continue
+		}
+		// Attribute names are preceded by whitespace.
+		if i > 0 && s.b[i-1] != ' ' && s.b[i-1] != '\t' {
+			continue
+		}
+		start := i + len(pat)
+		j := start
+		for j < len(s.b) && s.b[j] != '"' {
+			j++
+		}
+		return s.b[start:j]
+	}
+	return nil
+}
+
+func (s attrScanner) attrInt(name string) (int64, bool) {
+	v := s.attr(name)
+	if v == nil {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(string(v), 10, 64)
+	return n, err == nil
+}
+
+func (s attrScanner) attrFloat(name string) (float64, bool) {
+	v := s.attr(name)
+	if v == nil {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(string(v), 64)
+	return f, err == nil
+}
+
+// ElementKind classifies a top-level OSM element.
+type ElementKind uint8
+
+// Element kinds.
+const (
+	ElemOther ElementKind = iota
+	ElemNode
+	ElemWay
+	ElemRelation
+)
+
+// lineKind classifies one line of planet-style OSM XML.
+func lineKind(line []byte) ElementKind {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+		i++
+	}
+	rest := line[i:]
+	switch {
+	case hasPrefix(rest, "<node"):
+		return ElemNode
+	case hasPrefix(rest, "<way"):
+		return ElemWay
+	case hasPrefix(rest, "<relation"):
+		return ElemRelation
+	default:
+		return ElemOther
+	}
+}
+
+func hasPrefix(b []byte, p string) bool {
+	if len(b) < len(p) {
+		return false
+	}
+	return string(b[:len(p)]) == p
+}
+
+// Handler receives parsed elements.
+type Handler struct {
+	OnNode     func(id int64, p geom.Point)
+	OnWay      func(w *Way)
+	OnRelation func(r *Relation)
+}
+
+// ParseBlock parses the element lines in input[start:end). Blocks must
+// begin at line starts; multi-line elements (way, relation) must be fully
+// contained, which SplitElements guarantees.
+func ParseBlock(input []byte, start, end int64, h *Handler) error {
+	pos := start
+	var way *Way
+	var rel *Relation
+	for pos < end {
+		nl := pos
+		for nl < end && input[nl] != '\n' {
+			nl++
+		}
+		line := trimLine(input[pos:nl])
+		lineOff := pos
+		pos = nl + 1
+		if len(line) == 0 {
+			continue
+		}
+		sc := attrScanner{line}
+		switch {
+		case hasPrefix(line, "<node"):
+			id, ok1 := sc.attrInt("id")
+			lat, ok2 := sc.attrFloat("lat")
+			lon, ok3 := sc.attrFloat("lon")
+			if !ok1 || !ok2 || !ok3 {
+				return fmt.Errorf("osmxml: bad node at offset %d: %.60q", lineOff, line)
+			}
+			if h.OnNode != nil {
+				h.OnNode(id, geom.Point{X: lon, Y: lat})
+			}
+		case hasPrefix(line, "<way"):
+			id, ok := sc.attrInt("id")
+			if !ok {
+				return fmt.Errorf("osmxml: bad way at offset %d", lineOff)
+			}
+			way = &Way{ID: id, Off: lineOff}
+			if line[len(line)-2] == '/' { // self-closing
+				if h.OnWay != nil {
+					h.OnWay(way)
+				}
+				way = nil
+			}
+		case hasPrefix(line, "</way"):
+			if way != nil && h.OnWay != nil {
+				h.OnWay(way)
+			}
+			way = nil
+		case hasPrefix(line, "<relation"):
+			id, ok := sc.attrInt("id")
+			if !ok {
+				return fmt.Errorf("osmxml: bad relation at offset %d", lineOff)
+			}
+			rel = &Relation{ID: id, Off: lineOff}
+			if line[len(line)-2] == '/' {
+				if h.OnRelation != nil {
+					h.OnRelation(rel)
+				}
+				rel = nil
+			}
+		case hasPrefix(line, "</relation"):
+			if rel != nil && h.OnRelation != nil {
+				h.OnRelation(rel)
+			}
+			rel = nil
+		case hasPrefix(line, "<nd"):
+			if way != nil {
+				if ref, ok := sc.attrInt("ref"); ok {
+					way.Refs = append(way.Refs, ref)
+				}
+			}
+		case hasPrefix(line, "<member"):
+			if rel != nil {
+				ref, _ := sc.attrInt("ref")
+				rel.Members = append(rel.Members, Member{
+					Type: string(sc.attr("type")),
+					Ref:  ref,
+					Role: string(sc.attr("role")),
+				})
+			}
+		case hasPrefix(line, "<tag"):
+			k := string(sc.attr("k"))
+			v := string(sc.attr("v"))
+			switch {
+			case way != nil:
+				if way.Tags == nil {
+					way.Tags = make(map[string]string)
+				}
+				way.Tags[k] = v
+			case rel != nil:
+				if rel.Tags == nil {
+					rel.Tags = make(map[string]string)
+				}
+				rel.Tags[k] = v
+			}
+		}
+	}
+	return nil
+}
+
+func trimLine(line []byte) []byte {
+	start := 0
+	for start < len(line) && (line[start] == ' ' || line[start] == '\t' || line[start] == '\r') {
+		start++
+	}
+	end := len(line)
+	for end > start && (line[end-1] == ' ' || line[end-1] == '\t' || line[end-1] == '\r') {
+		end--
+	}
+	return line[start:end]
+}
+
+// SplitElements returns block cut offsets that fall on top-level element
+// starts (<node, <way, <relation), so multi-line elements never straddle
+// blocks.
+func SplitElements(input []byte, blockSize int) []int64 {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	var cuts []int64
+	for target := blockSize; target < len(input); {
+		// Advance to the next line start at or after target.
+		i := target
+		for i < len(input) && input[i-1] != '\n' {
+			i++
+		}
+		// Advance further to a line opening a top-level element.
+		for i < len(input) {
+			nl := i
+			for nl < len(input) && input[nl] != '\n' {
+				nl++
+			}
+			if lineKind(trimLine(input[i:nl])) != ElemOther {
+				break
+			}
+			i = nl + 1
+		}
+		if i >= len(input) {
+			break
+		}
+		cuts = append(cuts, int64(i))
+		target = i + blockSize
+	}
+	return cuts
+}
+
+// AssembleWay converts a way into a geometry using the node table:
+// closed ways become polygons (the building/area convention), open ways
+// linestrings.
+func AssembleWay(w *Way, nodes *NodeTable) (geom.Geometry, error) {
+	pts := make([]geom.Point, 0, len(w.Refs))
+	for _, ref := range w.Refs {
+		p, ok := nodes.Get(ref)
+		if !ok {
+			return nil, fmt.Errorf("osmxml: way %d references missing node %d", w.ID, ref)
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) >= 4 && pts[0].Equal(pts[len(pts)-1]) {
+		return geom.Polygon{geom.Ring(pts)}, nil
+	}
+	return geom.LineString(pts), nil
+}
+
+// AssembleRelation builds a multipolygon from a relation's way members.
+// Outer members become polygon shells and inner members holes of the
+// shell that contains them.
+func AssembleRelation(r *Relation, ways *WayTable, nodes *NodeTable) (geom.Geometry, error) {
+	var outers []geom.Ring
+	var inners []geom.Ring
+	for _, m := range r.Members {
+		if m.Type != "way" {
+			continue
+		}
+		w, ok := ways.Get(m.Ref)
+		if !ok {
+			return nil, fmt.Errorf("osmxml: relation %d references missing way %d", r.ID, m.Ref)
+		}
+		pts := make([]geom.Point, 0, len(w.Refs))
+		for _, ref := range w.Refs {
+			p, ok := nodes.Get(ref)
+			if !ok {
+				return nil, fmt.Errorf("osmxml: way %d references missing node %d", w.ID, ref)
+			}
+			pts = append(pts, p)
+		}
+		ring := geom.Ring(pts).Canonical()
+		if m.Role == "inner" {
+			inners = append(inners, ring)
+		} else {
+			outers = append(outers, ring)
+		}
+	}
+	if len(outers) == 0 {
+		return nil, fmt.Errorf("osmxml: relation %d has no outer ways", r.ID)
+	}
+	mp := make(geom.MultiPolygon, 0, len(outers))
+	for _, o := range outers {
+		mp = append(mp, geom.Polygon{o})
+	}
+	for _, in := range inners {
+		if len(in) == 0 {
+			continue
+		}
+		for i := range mp {
+			if geom.LocatePointInRing(in[0], mp[i][0]) == geom.Inside {
+				mp[i] = append(mp[i], in)
+				break
+			}
+		}
+	}
+	if len(mp) == 1 {
+		return mp[0], nil
+	}
+	return mp, nil
+}
+
+// Writer emits planet-style OSM XML.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter starts a document on w.
+func NewWriter(w io.Writer) *Writer {
+	out := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	out.str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<osm version=\"0.6\" generator=\"atgis-synth\">\n")
+	return out
+}
+
+func (w *Writer) str(s string) {
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+// WriteNode emits one node element.
+func (w *Writer) WriteNode(id int64, p geom.Point) {
+	w.str(" <node id=\"" + strconv.FormatInt(id, 10) +
+		"\" lat=\"" + strconv.FormatFloat(p.Y, 'g', -1, 64) +
+		"\" lon=\"" + strconv.FormatFloat(p.X, 'g', -1, 64) + "\"/>\n")
+}
+
+// WriteWay emits one way element with node refs and tags.
+func (w *Writer) WriteWay(id int64, refs []int64, tags map[string]string) {
+	w.str(" <way id=\"" + strconv.FormatInt(id, 10) + "\">\n")
+	for _, r := range refs {
+		w.str("  <nd ref=\"" + strconv.FormatInt(r, 10) + "\"/>\n")
+	}
+	w.writeTags(tags)
+	w.str(" </way>\n")
+}
+
+// WriteRelation emits one relation element.
+func (w *Writer) WriteRelation(id int64, members []Member, tags map[string]string) {
+	w.str(" <relation id=\"" + strconv.FormatInt(id, 10) + "\">\n")
+	for _, m := range members {
+		w.str("  <member type=\"" + m.Type + "\" ref=\"" + strconv.FormatInt(m.Ref, 10) +
+			"\" role=\"" + m.Role + "\"/>\n")
+	}
+	w.writeTags(tags)
+	w.str(" </relation>\n")
+}
+
+// writeTags emits tags in sorted key order for deterministic output.
+func (w *Writer) writeTags(tags map[string]string) {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.str("  <tag k=\"" + k + "\" v=\"" + tags[k] + "\"/>\n")
+	}
+}
+
+// Close terminates the document and flushes.
+func (w *Writer) Close() error {
+	w.str("</osm>\n")
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

@@ -1,0 +1,238 @@
+package osmxml
+
+import (
+	"bytes"
+	"testing"
+
+	"atgis/internal/geom"
+)
+
+// buildSample writes a small OSM document: four nodes forming a square,
+// one closed way (polygon), one open way (linestring) and one
+// multipolygon relation with a hole.
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// Outer square.
+	w.WriteNode(1, geom.Point{X: 0, Y: 0})
+	w.WriteNode(2, geom.Point{X: 4, Y: 0})
+	w.WriteNode(3, geom.Point{X: 4, Y: 4})
+	w.WriteNode(4, geom.Point{X: 0, Y: 4})
+	// Inner square (hole).
+	w.WriteNode(5, geom.Point{X: 1, Y: 1})
+	w.WriteNode(6, geom.Point{X: 2, Y: 1})
+	w.WriteNode(7, geom.Point{X: 2, Y: 2})
+	w.WriteNode(8, geom.Point{X: 1, Y: 2})
+	// Closed way: square polygon.
+	w.WriteWay(100, []int64{1, 2, 3, 4, 1}, map[string]string{"building": "yes"})
+	// Open way: path.
+	w.WriteWay(101, []int64{1, 3}, nil)
+	// Hole ring way.
+	w.WriteWay(102, []int64{5, 6, 7, 8, 5}, nil)
+	// Relation: outer 100 with inner 102.
+	w.WriteRelation(200, []Member{
+		{Type: "way", Ref: 100, Role: "outer"},
+		{Type: "way", Ref: 102, Role: "inner"},
+	}, map[string]string{"type": "multipolygon"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func parseSample(t *testing.T, input []byte) (*NodeTable, *WayTable, []*Way, []*Relation) {
+	t.Helper()
+	nodes := NewNodeTable()
+	wayTab := NewWayTable()
+	var ways []*Way
+	var rels []*Relation
+	err := ParseBlock(input, 0, int64(len(input)), &Handler{
+		OnNode: nodes.Put,
+		OnWay: func(w *Way) {
+			wayTab.Put(w)
+			ways = append(ways, w)
+		},
+		OnRelation: func(r *Relation) { rels = append(rels, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, wayTab, ways, rels
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	input := buildSample(t)
+	nodes, _, ways, rels := parseSample(t, input)
+	if nodes.Len() != 8 {
+		t.Errorf("nodes = %d, want 8", nodes.Len())
+	}
+	if len(ways) != 3 {
+		t.Fatalf("ways = %d, want 3", len(ways))
+	}
+	if len(rels) != 1 {
+		t.Fatalf("relations = %d, want 1", len(rels))
+	}
+	if ways[0].ID != 100 || len(ways[0].Refs) != 5 {
+		t.Errorf("way 0 = %+v", ways[0])
+	}
+	if ways[0].Tags["building"] != "yes" {
+		t.Errorf("way tags = %v", ways[0].Tags)
+	}
+	r := rels[0]
+	if r.ID != 200 || len(r.Members) != 2 {
+		t.Fatalf("relation = %+v", r)
+	}
+	if r.Members[0].Role != "outer" || r.Members[1].Role != "inner" {
+		t.Errorf("member roles = %+v", r.Members)
+	}
+	if r.Tags["type"] != "multipolygon" {
+		t.Errorf("relation tags = %v", r.Tags)
+	}
+	if p, ok := nodes.Get(3); !ok || !p.Equal(geom.Point{X: 4, Y: 4}) {
+		t.Errorf("node 3 = %v ok=%v", p, ok)
+	}
+}
+
+func TestAssembleWayKinds(t *testing.T) {
+	input := buildSample(t)
+	nodes, _, ways, _ := parseSample(t, input)
+
+	g, err := AssembleWay(ways[0], nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, ok := g.(geom.Polygon)
+	if !ok {
+		t.Fatalf("closed way = %T, want Polygon", g)
+	}
+	if got := geom.PlanarArea(poly); got != 16 {
+		t.Errorf("polygon area = %v, want 16", got)
+	}
+
+	g, err = AssembleWay(ways[1], nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.(geom.LineString); !ok {
+		t.Fatalf("open way = %T, want LineString", g)
+	}
+
+	// Missing node reference.
+	bad := &Way{ID: 999, Refs: []int64{1, 777}}
+	if _, err := AssembleWay(bad, nodes); err == nil {
+		t.Error("missing node should error")
+	}
+}
+
+func TestAssembleRelationWithHole(t *testing.T) {
+	input := buildSample(t)
+	nodes, wayTab, _, rels := parseSample(t, input)
+	g, err := AssembleRelation(rels[0], wayTab, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, ok := g.(geom.Polygon)
+	if !ok {
+		t.Fatalf("relation = %T, want Polygon", g)
+	}
+	if len(poly) != 2 {
+		t.Fatalf("rings = %d, want outer+hole", len(poly))
+	}
+	if got := geom.PlanarArea(poly); got != 15 {
+		t.Errorf("area = %v, want 15 (16 - 1)", got)
+	}
+	// Missing members error.
+	badRel := &Relation{ID: 9, Members: []Member{{Type: "way", Ref: 12345}}}
+	if _, err := AssembleRelation(badRel, wayTab, nodes); err == nil {
+		t.Error("missing way should error")
+	}
+	noOuter := &Relation{ID: 10}
+	if _, err := AssembleRelation(noOuter, wayTab, nodes); err == nil {
+		t.Error("relation without outer should error")
+	}
+}
+
+func TestSplitElementsInvariance(t *testing.T) {
+	// A larger document; any block size must parse the same elements.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := int64(0); i < 200; i++ {
+		w.WriteNode(i, geom.Point{X: float64(i), Y: float64(i)})
+	}
+	for i := int64(0); i < 40; i++ {
+		w.WriteWay(1000+i, []int64{i, i + 1, i + 2}, map[string]string{"highway": "path"})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	input := buf.Bytes()
+
+	countAll := func(cuts []int64) (int, int) {
+		nodes, ways := 0, 0
+		prev := int64(0)
+		for _, c := range append(cuts, int64(len(input))) {
+			if c <= prev {
+				continue
+			}
+			err := ParseBlock(input, prev, c, &Handler{
+				OnNode: func(int64, geom.Point) { nodes++ },
+				OnWay:  func(*Way) { ways++ },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev = c
+		}
+		return nodes, ways
+	}
+	wantNodes, wantWays := countAll(nil)
+	if wantNodes != 200 || wantWays != 40 {
+		t.Fatalf("sequential = %d nodes %d ways", wantNodes, wantWays)
+	}
+	for _, bs := range []int{64, 300, 1024, 10000, 1 << 22} {
+		cuts := SplitElements(input, bs)
+		gotNodes, gotWays := countAll(cuts)
+		if gotNodes != wantNodes || gotWays != wantWays {
+			t.Fatalf("block size %d: %d/%d nodes, %d/%d ways",
+				bs, gotNodes, wantNodes, gotWays, wantWays)
+		}
+		// Ways must not straddle cuts: every way has exactly 3 refs.
+		prev := int64(0)
+		for _, c := range append(cuts, int64(len(input))) {
+			if c <= prev {
+				continue
+			}
+			ParseBlock(input, prev, c, &Handler{OnWay: func(w *Way) {
+				if len(w.Refs) != 3 {
+					t.Fatalf("block size %d: way %d has %d refs", bs, w.ID, len(w.Refs))
+				}
+			}})
+			prev = c
+		}
+	}
+}
+
+func TestAttrScannerEdgeCases(t *testing.T) {
+	sc := attrScanner{[]byte(`<node id="12" lat="1.5" lon="-2.5" uid="7"/>`)}
+	if v := sc.attr("id"); string(v) != "12" {
+		t.Errorf("id = %q", v)
+	}
+	if v := sc.attr("uid"); string(v) != "7" {
+		t.Errorf("uid = %q", v)
+	}
+	// "id" must not match inside "uid".
+	sc2 := attrScanner{[]byte(`<node uid="7"/>`)}
+	if v := sc2.attr("id"); v != nil {
+		t.Errorf("id matched inside uid: %q", v)
+	}
+	if v := sc2.attr("missing"); v != nil {
+		t.Errorf("missing attr = %q", v)
+	}
+	if n, ok := sc.attrInt("id"); !ok || n != 12 {
+		t.Errorf("attrInt = %d ok=%v", n, ok)
+	}
+	if f, ok := sc.attrFloat("lat"); !ok || f != 1.5 {
+		t.Errorf("attrFloat = %v ok=%v", f, ok)
+	}
+}

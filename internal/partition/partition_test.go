@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"atgis/internal/geom"
+)
+
+func box(x0, y0, x1, y1 float64) geom.Box {
+	return geom.Box{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+}
+
+func TestGridGeometry(t *testing.T) {
+	g := NewGrid(box(0, 0, 10, 10), 2.5)
+	if g.Cols != 4 || g.Rows != 4 || g.NumCells() != 16 {
+		t.Fatalf("grid = %+v", g)
+	}
+	// A box inside one cell.
+	c0, c1, r0, r1 := g.CellRange(box(0.1, 0.1, 1, 1))
+	if c0 != 0 || c1 != 1 || r0 != 0 || r1 != 1 {
+		t.Errorf("single-cell range = %d %d %d %d", c0, c1, r0, r1)
+	}
+	// A straddling box.
+	c0, c1, r0, r1 = g.CellRange(box(2, 2, 3, 3))
+	if c0 != 0 || c1 != 2 || r0 != 0 || r1 != 2 {
+		t.Errorf("straddle range = %d %d %d %d", c0, c1, r0, r1)
+	}
+	// Out-of-extent boxes clamp.
+	c0, c1, r0, r1 = g.CellRange(box(-50, -50, -40, -40))
+	if c0 != 0 || c1 != 1 || r0 != 0 || r1 != 1 {
+		t.Errorf("clamped range = %d %d %d %d", c0, c1, r0, r1)
+	}
+	// Cell box round trip.
+	cb := g.CellBox(5) // col 1, row 1
+	if cb != box(2.5, 2.5, 5, 5) {
+		t.Errorf("cell box = %+v", cb)
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	g := NewGrid(box(0, 0, 0.1, 0.1), 1)
+	if g.NumCells() != 1 {
+		t.Errorf("tiny extent cells = %d", g.NumCells())
+	}
+	g = NewGrid(box(0, 0, 10, 10), 0) // invalid cell size defaults
+	if g.CellSize != 1 {
+		t.Errorf("default cell size = %v", g.CellSize)
+	}
+}
+
+func TestInsertAndDuplication(t *testing.T) {
+	g := NewGrid(box(0, 0, 10, 10), 5)
+	for _, kind := range []StoreKind{ArrayStore, ListStore} {
+		s := NewSet(g, kind)
+		// Entry inside one cell.
+		s.Insert(Entry{Box: box(1, 1, 2, 2), ID: 1})
+		// Entry straddling all four cells.
+		s.Insert(Entry{Box: box(4, 4, 6, 6), ID: 2})
+		if s.Len() != 5 {
+			t.Errorf("%v: len = %d, want 5 (1 + 4 duplicates)", kind, s.Len())
+		}
+		if got := len(s.Cell(0)); got != 2 {
+			t.Errorf("%v: cell 0 entries = %d, want 2", kind, got)
+		}
+		if got := len(s.Cell(3)); got != 1 {
+			t.Errorf("%v: cell 3 entries = %d, want 1", kind, got)
+		}
+	}
+}
+
+func cellIDs(s *Set, c int) []int64 {
+	var ids []int64
+	for _, e := range s.Cell(c) {
+		ids = append(ids, e.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestMergeEquivalentToSequential(t *testing.T) {
+	g := NewGrid(box(0, 0, 100, 100), 10)
+	rng := rand.New(rand.NewSource(7))
+	entries := make([]Entry, 500)
+	for i := range entries {
+		x := rng.Float64() * 95
+		y := rng.Float64() * 95
+		entries[i] = Entry{
+			Box: box(x, y, x+rng.Float64()*8, y+rng.Float64()*8),
+			ID:  int64(i),
+			Off: int64(i * 100),
+		}
+	}
+	for _, kind := range []StoreKind{ArrayStore, ListStore} {
+		seq := NewSet(g, kind)
+		for _, e := range entries {
+			seq.Insert(e)
+		}
+		// Partition into 7 chunks, insert separately, merge.
+		parts := make([]*Set, 7)
+		for i := range parts {
+			parts[i] = NewSet(g, kind)
+		}
+		for i, e := range entries {
+			parts[i%7].Insert(e)
+		}
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Len() != seq.Len() {
+			t.Fatalf("%v: merged len %d != sequential %d", kind, merged.Len(), seq.Len())
+		}
+		for c := 0; c < g.NumCells(); c++ {
+			a, b := cellIDs(seq, c), cellIDs(merged, c)
+			if len(a) != len(b) {
+				t.Fatalf("%v: cell %d count %d != %d", kind, c, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: cell %d ids differ", kind, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := NewSet(NewGrid(box(0, 0, 10, 10), 1), ArrayStore)
+	b := NewSet(NewGrid(box(0, 0, 10, 10), 2), ArrayStore)
+	if err := a.Merge(b); err == nil {
+		t.Error("incompatible grids should fail to merge")
+	}
+	c := NewSet(NewGrid(box(0, 0, 10, 10), 1), ListStore)
+	if err := a.Merge(c); err == nil {
+		t.Error("incompatible store kinds should fail to merge")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge should be a no-op: %v", err)
+	}
+}
+
+func TestPartitionCoverProperty(t *testing.T) {
+	// Every inserted entry must appear in at least one cell, and in
+	// exactly the cells its box overlaps.
+	g := NewGrid(box(0, 0, 50, 50), 7)
+	s := NewSet(g, ArrayStore)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		x := rng.Float64() * 45
+		y := rng.Float64() * 45
+		e := Entry{Box: box(x, y, x+rng.Float64()*10, y+rng.Float64()*10), ID: int64(i)}
+		s.Insert(e)
+		found := false
+		for c := 0; c < g.NumCells(); c++ {
+			cellHas := false
+			for _, got := range s.Cell(c) {
+				if got.ID == e.ID {
+					cellHas = true
+					found = true
+				}
+			}
+			if cellHas != g.CellBox(c).Intersects(e.Box) {
+				t.Fatalf("entry %d: cell %d membership %v but overlap %v",
+					i, c, cellHas, g.CellBox(c).Intersects(e.Box))
+			}
+		}
+		if !found {
+			t.Fatalf("entry %d missing from all cells", i)
+		}
+	}
+}
+
+func TestListStoreChunking(t *testing.T) {
+	s := newListStore(1)
+	for i := 0; i < 20; i++ {
+		s.Add(0, Entry{ID: int64(i)})
+	}
+	got := s.Cell(0)
+	if len(got) != 20 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	for i, e := range got {
+		if e.ID != int64(i) {
+			t.Fatalf("order broken at %d: %d", i, e.ID)
+		}
+	}
+	if s.Len() != 20 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestStoreKindString(t *testing.T) {
+	if ArrayStore.String() != "array" || ListStore.String() != "list" {
+		t.Error("StoreKind names")
+	}
+}

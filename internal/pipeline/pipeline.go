@@ -1,0 +1,173 @@
+// Package pipeline is the AT-GIS execution engine (paper §4.1, Fig. 5):
+// query pipelines run in three phases. The *split* phase divides raw
+// input into blocks (a pointer increment for fully-associative pipelines,
+// a boundary search for partially-associative ones). The *processing*
+// phase runs the entire transducer pipeline over each block on a pool of
+// workers, keeping all intermediate state thread-local. The *merge* phase
+// combines the per-block fragments in input order.
+//
+// Splitting and processing overlap; merging starts once results arrive
+// and consumes them in order, exactly as the paper describes (the first
+// two phases run concurrently, the third requires ordered results).
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Block is one contiguous region of the input.
+type Block struct {
+	Index      int
+	Start, End int64
+}
+
+// Stats reports where a run's time went, matching the phase breakdown
+// the paper measures (split, processing P, merge M).
+type Stats struct {
+	SplitTime   time.Duration
+	ProcessTime time.Duration // wall-clock of the parallel phase
+	MergeTime   time.Duration
+	Blocks      int
+	Bytes       int64
+	Workers     int
+}
+
+// Total returns the end-to-end duration.
+func (s Stats) Total() time.Duration { return s.SplitTime + s.ProcessTime + s.MergeTime }
+
+// ThroughputMBs returns processing throughput in MB/s over the total
+// time, the headline metric of the paper's figures.
+func (s Stats) ThroughputMBs() float64 {
+	t := s.Total().Seconds()
+	if t <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / (1 << 20) / t
+}
+
+// Splitter produces block boundaries for an input.
+type Splitter interface {
+	// Split returns the cut offsets strictly inside (0, len(input));
+	// blocks are the regions between consecutive cuts.
+	Split(input []byte) []int64
+}
+
+// SplitterFunc adapts a function to the Splitter interface.
+type SplitterFunc func(input []byte) []int64
+
+// Split implements Splitter.
+func (f SplitterFunc) Split(input []byte) []int64 { return f(input) }
+
+// FixedSplitter cuts the input into fixed-size blocks: the zero-cost
+// split used by fully-associative pipelines.
+type FixedSplitter struct{ BlockSize int }
+
+// Split implements Splitter.
+func (s FixedSplitter) Split(input []byte) []int64 {
+	bs := s.BlockSize
+	if bs < 1 {
+		bs = 1 << 20
+	}
+	var cuts []int64
+	for c := int64(bs); c < int64(len(input)); c += int64(bs) {
+		cuts = append(cuts, c)
+	}
+	return cuts
+}
+
+// BlocksFromCuts materialises Block descriptors from cut offsets.
+func BlocksFromCuts(n int64, cuts []int64) []Block {
+	var blocks []Block
+	prev := int64(0)
+	idx := 0
+	for _, c := range cuts {
+		if c <= prev || c >= n {
+			continue
+		}
+		blocks = append(blocks, Block{Index: idx, Start: prev, End: c})
+		prev = c
+		idx++
+	}
+	blocks = append(blocks, Block{Index: idx, Start: prev, End: n})
+	return blocks
+}
+
+// Run executes process over every block on workers goroutines and folds
+// the results in input order. The fold runs on the caller's goroutine,
+// consuming results as soon as their predecessors are merged — an
+// ordered reduction matching the associative merge of §3.2.
+func Run[R any](
+	input []byte,
+	splitter Splitter,
+	workers int,
+	process func(b Block) R,
+	fold func(b Block, r R),
+) Stats {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var st Stats
+	st.Workers = workers
+	st.Bytes = int64(len(input))
+
+	t0 := time.Now()
+	cuts := splitter.Split(input)
+	blocks := BlocksFromCuts(int64(len(input)), cuts)
+	st.SplitTime = time.Since(t0)
+	st.Blocks = len(blocks)
+
+	t1 := time.Now()
+	results := make([]R, len(blocks))
+	done := make([]bool, len(blocks))
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+
+	work := make(chan Block, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				r := process(b)
+				mu.Lock()
+				results[b.Index] = r
+				done[b.Index] = true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		for _, b := range blocks {
+			work <- b
+		}
+		close(work)
+	}()
+
+	// Ordered merge: wait for each block in turn.
+	var mergeTime time.Duration
+	for i, b := range blocks {
+		mu.Lock()
+		for !done[i] {
+			cond.Wait()
+		}
+		r := results[i]
+		var zero R
+		results[i] = zero // release memory as the fold consumes it
+		mu.Unlock()
+		m0 := time.Now()
+		fold(b, r)
+		mergeTime += time.Since(m0)
+	}
+	wg.Wait()
+	elapsed := time.Since(t1)
+	st.MergeTime = mergeTime
+	st.ProcessTime = elapsed - mergeTime
+	if st.ProcessTime < 0 {
+		st.ProcessTime = 0
+	}
+	return st
+}

@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFixedSplitter(t *testing.T) {
+	input := make([]byte, 100)
+	cuts := FixedSplitter{BlockSize: 30}.Split(input)
+	want := []int64{30, 60, 90}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for i := range cuts {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+	// Default block size when unset.
+	if got := (FixedSplitter{}).Split(make([]byte, 10)); len(got) != 0 {
+		t.Errorf("small input cuts = %v", got)
+	}
+}
+
+func TestBlocksFromCuts(t *testing.T) {
+	blocks := BlocksFromCuts(100, []int64{0, 30, 30, 60, 150})
+	// Invalid cuts (0, duplicate, beyond end) are dropped.
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	if blocks[0] != (Block{0, 0, 30}) || blocks[1] != (Block{1, 30, 60}) || blocks[2] != (Block{2, 60, 100}) {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	// No cuts: a single block.
+	one := BlocksFromCuts(42, nil)
+	if len(one) != 1 || one[0] != (Block{0, 0, 42}) {
+		t.Fatalf("single block = %+v", one)
+	}
+}
+
+func TestRunSumsAllBytes(t *testing.T) {
+	input := bytes.Repeat([]byte{1}, 10000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		var total int64
+		var calls int32
+		st := Run(input, FixedSplitter{BlockSize: 117}, workers,
+			func(b Block) int64 {
+				atomic.AddInt32(&calls, 1)
+				var s int64
+				for _, v := range input[b.Start:b.End] {
+					s += int64(v)
+				}
+				return s
+			},
+			func(b Block, r int64) { total += r },
+		)
+		if total != 10000 {
+			t.Fatalf("workers %d: total = %d, want 10000", workers, total)
+		}
+		if int(calls) != st.Blocks {
+			t.Errorf("workers %d: calls %d != blocks %d", workers, calls, st.Blocks)
+		}
+		if st.Workers != workers {
+			t.Errorf("stats workers = %d, want %d", st.Workers, workers)
+		}
+		if st.Bytes != 10000 {
+			t.Errorf("stats bytes = %d", st.Bytes)
+		}
+	}
+}
+
+func TestRunFoldsInOrder(t *testing.T) {
+	input := make([]byte, 1000)
+	var order []int
+	Run(input, FixedSplitter{BlockSize: 37}, 4,
+		func(b Block) int { return b.Index },
+		func(b Block, r int) { order = append(order, r) },
+	)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("fold order %v", order)
+		}
+	}
+	if len(order) == 0 {
+		t.Fatal("no blocks folded")
+	}
+}
+
+func TestRunSingleBlock(t *testing.T) {
+	input := []byte("hello")
+	n := 0
+	st := Run(input, FixedSplitter{BlockSize: 1 << 20}, 2,
+		func(b Block) int { return int(b.End - b.Start) },
+		func(b Block, r int) { n += r },
+	)
+	if n != 5 || st.Blocks != 1 {
+		t.Fatalf("n=%d blocks=%d", n, st.Blocks)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var input []byte
+	called := 0
+	st := Run(input, FixedSplitter{BlockSize: 10}, 2,
+		func(b Block) int { called++; return 0 },
+		func(b Block, r int) {},
+	)
+	// One empty block is acceptable; it must not crash.
+	if st.Blocks != 1 || called != 1 {
+		t.Fatalf("blocks=%d called=%d", st.Blocks, called)
+	}
+}
+
+func TestStatsThroughput(t *testing.T) {
+	var s Stats
+	if s.ThroughputMBs() != 0 {
+		t.Error("zero-duration throughput should be 0")
+	}
+}
+
+func TestSplitterFunc(t *testing.T) {
+	s := SplitterFunc(func(input []byte) []int64 { return []int64{int64(len(input) / 2)} })
+	cuts := s.Split(make([]byte, 10))
+	if len(cuts) != 1 || cuts[0] != 5 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+}

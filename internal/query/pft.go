@@ -1,0 +1,320 @@
+package query
+
+import (
+	"math"
+
+	"atgis/internal/at"
+	"atgis/internal/geom"
+)
+
+// This file realises Table 1's "in shape" associativity: each operator
+// is expressed as a periodically flushing transducer over a geometry's
+// edge or point stream, so a single large shape can be split across
+// blocks and its per-block partial states merged (paper §3.3–3.4).
+//
+// The non-obvious construction is the relation predicates: comparing a
+// shape against a reference requires (i) an edge-intersection flag —
+// trivially associative under OR — and (ii) two point-in-polygon tests.
+// The shape-point-in-reference test needs only one sample vertex
+// (first-wins is associative). The reference-point-in-shape test is made
+// associative by counting ray crossings: the parity of how many shape
+// edges cross a fixed ray from a reference anchor point is a sum, and
+// sums merge. This is the Bool×Bool processing state of Table 1 rows
+// like ST_Intersects, carried here as (edge-hit, crossing count, sample).
+
+// Edge is one directed edge of a geometry's boundary.
+type Edge struct{ A, B geom.Point }
+
+// EdgesOf flattens a geometry into its edge stream (the symbol stream a
+// relation PFT consumes).
+func EdgesOf(g geom.Geometry) []Edge {
+	var out []Edge
+	g.EachEdge(func(a, b geom.Point) bool {
+		out = append(out, Edge{a, b})
+		return true
+	})
+	return out
+}
+
+// EnvelopePFT builds the ST_Envelope transducer: per-shape MBR over a
+// point stream; flushing symbols are shape boundaries.
+func EnvelopePFT() *at.PFT[geom.Point, geom.Box, geom.Box] {
+	return &at.PFT[geom.Point, geom.Box, geom.Box]{
+		Init:    geom.EmptyBox,
+		Step:    func(b geom.Box, p geom.Point) geom.Box { return b.ExtendPoint(p) },
+		Combine: func(a, b geom.Box) geom.Box { return a.Union(b) },
+		Finish:  func(b geom.Box) geom.Box { return b },
+	}
+}
+
+// IsEmptyPFT builds the ST_IsEmpty transducer (point count > 0, Bool
+// state in Table 1).
+func IsEmptyPFT() *at.PFT[geom.Point, bool, bool] {
+	return &at.PFT[geom.Point, bool, bool]{
+		Init:    func() bool { return false },
+		Step:    func(seen bool, _ geom.Point) bool { return true },
+		Combine: func(a, b bool) bool { return a || b },
+		Finish:  func(seen bool) bool { return !seen },
+	}
+}
+
+// HullState is the partial convex hull of a shape prefix.
+type HullState struct{ Pts []geom.Point }
+
+// ConvexHullPFT builds the ST_ConvexHull transducer. Merging keeps only
+// hull vertices of the combined point set, so state stays small while
+// remaining associative (hull(A ∪ B) = hull(hull(A) ∪ hull(B))).
+func ConvexHullPFT() *at.PFT[geom.Point, HullState, geom.Polygon] {
+	reduce := func(pts []geom.Point) []geom.Point {
+		if len(pts) <= 8 {
+			return pts
+		}
+		hull := geom.HullOfPoints(pts)
+		if len(hull) == 0 {
+			return pts
+		}
+		return []geom.Point(hull[0])
+	}
+	return &at.PFT[geom.Point, HullState, geom.Polygon]{
+		Init: func() HullState { return HullState{} },
+		Step: func(s HullState, p geom.Point) HullState {
+			s.Pts = append(s.Pts, p)
+			if len(s.Pts) > 64 {
+				s.Pts = reduce(s.Pts)
+			}
+			return s
+		},
+		Combine: func(a, b HullState) HullState {
+			merged := make([]geom.Point, 0, len(a.Pts)+len(b.Pts))
+			merged = append(merged, a.Pts...)
+			merged = append(merged, b.Pts...)
+			return HullState{Pts: reduce(merged)}
+		},
+		Finish: func(s HullState) geom.Polygon { return geom.HullOfPoints(s.Pts) },
+	}
+}
+
+// PerimeterPFT builds the per-shape perimeter transducer over edges
+// (Float state of ST_Distance-style rows).
+func PerimeterPFT(m geom.DistanceMethod) *at.PFT[Edge, float64, float64] {
+	return &at.PFT[Edge, float64, float64]{
+		Init:    func() float64 { return 0 },
+		Step:    func(s float64, e Edge) float64 { return s + geom.Distance(e.A, e.B, m) },
+		Combine: func(a, b float64) float64 { return a + b },
+		Finish:  func(s float64) float64 { return s },
+	}
+}
+
+// SphericalAreaPFT builds the per-shape spherical area transducer: the
+// spherical shoelace term is edge-additive, so area is in-shape
+// associative exactly like the paper's ST_Envelope example.
+func SphericalAreaPFT() *at.PFT[Edge, float64, float64] {
+	const degToRad = math.Pi / 180
+	term := func(e Edge) float64 {
+		lon1 := e.A.X * degToRad
+		lon2 := e.B.X * degToRad
+		lat1 := e.A.Y * degToRad
+		lat2 := e.B.Y * degToRad
+		return (lon2 - lon1) * (2 + math.Sin(lat1) + math.Sin(lat2))
+	}
+	return &at.PFT[Edge, float64, float64]{
+		Init:    func() float64 { return 0 },
+		Step:    func(s float64, e Edge) float64 { return s + term(e) },
+		Combine: func(a, b float64) float64 { return a + b },
+		Finish: func(s float64) float64 {
+			return math.Abs(s * geom.EarthRadiusMeters * geom.EarthRadiusMeters / 2)
+		},
+	}
+}
+
+// RelState is the processing state of the relation predicates: Table 1's
+// Bool×Bool plus the sample vertex.
+type RelState struct {
+	// EdgeHit records an edge of the shape intersecting a reference
+	// edge.
+	EdgeHit bool
+	// RayCrossings counts shape edges crossing the ray from the
+	// reference anchor point towards +x; its parity decides whether the
+	// anchor lies inside the shape.
+	RayCrossings int
+	// First is the first shape vertex seen (for the shape-in-reference
+	// point test); HasFirst guards merging.
+	First    geom.Point
+	HasFirst bool
+}
+
+func mergeRel(a, b RelState) RelState {
+	out := RelState{
+		EdgeHit:      a.EdgeHit || b.EdgeHit,
+		RayCrossings: a.RayCrossings + b.RayCrossings,
+		First:        a.First,
+		HasFirst:     a.HasFirst,
+	}
+	if !out.HasFirst {
+		out.First = b.First
+		out.HasFirst = b.HasFirst
+	}
+	return out
+}
+
+// rayCrossing reports whether edge e crosses the horizontal ray from p
+// towards +x, using the same half-open rule as LocatePointInRing.
+func rayCrossing(p geom.Point, e Edge) bool {
+	a, b := e.A, e.B
+	if (a.Y > p.Y) == (b.Y > p.Y) {
+		return false
+	}
+	x := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+	return x > p.X
+}
+
+// IntersectsPFT builds the ST_Intersects transducer against a reference
+// polygon. The edge stream of a candidate shape may be split arbitrarily
+// across blocks; fragments merge associatively (Table 1: "in shape").
+func IntersectsPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
+	refEdges := EdgesOf(ref)
+	anchor, hasAnchor := firstVertex(ref)
+	return &at.PFT[Edge, RelState, bool]{
+		Init: func() RelState { return RelState{} },
+		Step: func(s RelState, e Edge) RelState {
+			if !s.HasFirst {
+				s.First = e.A
+				s.HasFirst = true
+			}
+			if !s.EdgeHit {
+				for _, re := range refEdges {
+					if geom.SegmentsIntersect(e.A, e.B, re.A, re.B) {
+						s.EdgeHit = true
+						break
+					}
+				}
+			}
+			if hasAnchor && rayCrossing(anchor, e) {
+				s.RayCrossings++
+			}
+			return s
+		},
+		Combine: mergeRel,
+		Finish: func(s RelState) bool {
+			if s.EdgeHit {
+				return true
+			}
+			// Shape fully inside reference?
+			if s.HasFirst && geom.PolygonContainsPoint(s.First, ref) {
+				return true
+			}
+			// Reference fully inside shape? (ray-crossing parity)
+			return s.RayCrossings%2 == 1
+		},
+	}
+}
+
+// WithinPFT builds the ST_Within transducer against a reference polygon:
+// no proper edge crossing, and the shape's sample point inside.
+// Shapes touching the boundary from inside are within (closed
+// semantics), which proper-crossing detection preserves.
+func WithinPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
+	refEdges := EdgesOf(ref)
+	return &at.PFT[Edge, RelState, bool]{
+		Init: func() RelState { return RelState{} },
+		Step: func(s RelState, e Edge) RelState {
+			if !s.HasFirst {
+				s.First = e.A
+				s.HasFirst = true
+			}
+			if !s.EdgeHit {
+				for _, re := range refEdges {
+					if geom.SegmentsCross(e.A, e.B, re.A, re.B) {
+						s.EdgeHit = true // a proper crossing refutes within
+						break
+					}
+				}
+			}
+			return s
+		},
+		Combine: mergeRel,
+		Finish: func(s RelState) bool {
+			if s.EdgeHit || !s.HasFirst {
+				return false
+			}
+			return geom.PolygonContainsPoint(s.First, ref)
+		},
+	}
+}
+
+// DisjointPFT is the negation of ST_Intersects (Table 1 row
+// ST_Disjoint).
+func DisjointPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
+	inner := IntersectsPFT(ref)
+	return &at.PFT[Edge, RelState, bool]{
+		Init:    inner.Init,
+		Step:    inner.Step,
+		Combine: inner.Combine,
+		Finish:  func(s RelState) bool { return !inner.Finish(s) },
+	}
+}
+
+// MinDistancePFT builds the ST_Distance transducer: minimum distance
+// from any shape edge to the reference (Float state, in-shape; exact
+// when the shapes are disjoint, 0 handled by the intersect test).
+func MinDistancePFT(ref geom.Polygon, m geom.DistanceMethod) *at.PFT[Edge, float64, float64] {
+	refEdges := EdgesOf(ref)
+	edgeDist := func(e Edge) float64 {
+		best := math.Inf(1)
+		for _, re := range refEdges {
+			if geom.SegmentsIntersect(e.A, e.B, re.A, re.B) {
+				return 0
+			}
+			for _, p := range [2]geom.Point{e.A, e.B} {
+				if d := pointSegDist(p, re, m); d < best {
+					best = d
+				}
+			}
+			for _, p := range [2]geom.Point{re.A, re.B} {
+				if d := pointSegDist(p, e, m); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+	return &at.PFT[Edge, float64, float64]{
+		Init:    func() float64 { return math.Inf(1) },
+		Step:    func(s float64, e Edge) float64 { return math.Min(s, edgeDist(e)) },
+		Combine: math.Min,
+		Finish:  func(s float64) float64 { return s },
+	}
+}
+
+func pointSegDist(p geom.Point, e Edge, m geom.DistanceMethod) float64 {
+	ab := e.B.Sub(e.A)
+	denom := ab.Dot(ab)
+	t := 0.0
+	if denom > 0 {
+		t = p.Sub(e.A).Dot(ab) / denom
+		t = math.Max(0, math.Min(1, t))
+	}
+	closest := geom.Point{X: e.A.X + t*ab.X, Y: e.A.Y + t*ab.Y}
+	return geom.Distance(p, closest, m)
+}
+
+func firstVertex(p geom.Polygon) (geom.Point, bool) {
+	if len(p) == 0 || len(p[0]) == 0 {
+		return geom.Point{}, false
+	}
+	return p[0][0], true
+}
+
+// RunEdgePFT is a convenience driver: it streams a sequence of shapes
+// (as edge slices) through the transducer sequentially — the oracle the
+// fragment tests compare against.
+func RunEdgePFT[S, O any](p *at.PFT[Edge, S, O], shapes [][]Edge) []O {
+	run := p.NewRun()
+	for _, edges := range shapes {
+		for _, e := range edges {
+			run.Process(e)
+		}
+		run.Flush()
+	}
+	return at.FinalizePFT(p, run.Fragment(), true, false)
+}

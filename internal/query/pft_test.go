@@ -1,0 +1,264 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"atgis/internal/at"
+	"atgis/internal/geom"
+)
+
+// splitRuns executes a PFT over shapes split into random blocks and
+// merges fragments, returning the finalized outputs; must equal the
+// sequential RunEdgePFT.
+func splitRuns[S, O any](t *testing.T, p *at.PFT[Edge, S, O], shapes [][]Edge, seed int64) []O {
+	t.Helper()
+	// Flatten into (edge | flush) symbol stream.
+	type sym struct {
+		e     Edge
+		flush bool
+	}
+	var stream []sym
+	for _, edges := range shapes {
+		for _, e := range edges {
+			stream = append(stream, sym{e: e})
+		}
+		stream = append(stream, sym{flush: true})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var frags []at.PFTFragment[S, O]
+	for pos := 0; pos < len(stream); {
+		size := rng.Intn(5) + 1
+		if pos+size > len(stream) {
+			size = len(stream) - pos
+		}
+		run := p.NewRun()
+		for _, s := range stream[pos : pos+size] {
+			if s.flush {
+				run.Flush()
+			} else {
+				run.Process(s.e)
+			}
+		}
+		frags = append(frags, run.Fragment())
+		pos += size
+	}
+	if len(frags) == 0 {
+		return nil
+	}
+	merged := frags[0]
+	for _, f := range frags[1:] {
+		merged = at.MergePFT(p, merged, f)
+	}
+	return at.FinalizePFT(p, merged, true, false)
+}
+
+func randomSquares(rng *rand.Rand, n int) ([]geom.Polygon, [][]Edge) {
+	polys := make([]geom.Polygon, n)
+	edges := make([][]Edge, n)
+	for i := range polys {
+		x := rng.Float64()*20 - 10
+		y := rng.Float64()*20 - 10
+		s := rng.Float64()*6 + 0.5
+		polys[i] = geom.Polygon{geom.Ring{
+			{X: x, Y: y}, {X: x + s, Y: y}, {X: x + s, Y: y + s},
+			{X: x, Y: y + s}, {X: x, Y: y},
+		}}
+		edges[i] = EdgesOf(polys[i])
+	}
+	return polys, edges
+}
+
+func TestEnvelopePFTSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	polys, _ := randomSquares(rng, 10)
+	// Point streams per shape.
+	p := EnvelopePFT()
+	var shapes [][]geom.Point
+	for _, poly := range polys {
+		var pts []geom.Point
+		poly.EachPoint(func(q geom.Point) bool { pts = append(pts, q); return true })
+		shapes = append(shapes, pts)
+	}
+	// Sequential oracle.
+	run := p.NewRun()
+	for _, pts := range shapes {
+		for _, q := range pts {
+			run.Process(q)
+		}
+		run.Flush()
+	}
+	want := at.FinalizePFT(p, run.Fragment(), true, false)
+	for i, box := range want {
+		if box != polys[i].Bound() {
+			t.Fatalf("shape %d: envelope %+v, want %+v", i, box, polys[i].Bound())
+		}
+	}
+}
+
+func TestRelationPFTsMatchGeomPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := geom.Polygon{geom.Ring{
+		{X: -3, Y: -3}, {X: 3, Y: -3}, {X: 3, Y: 3}, {X: -3, Y: 3}, {X: -3, Y: -3},
+	}}
+	polys, edges := randomSquares(rng, 60)
+
+	intersects := IntersectsPFT(ref)
+	within := WithinPFT(ref)
+	disjoint := DisjointPFT(ref)
+
+	gotI := splitRuns(t, intersects, edges, 11)
+	gotW := splitRuns(t, within, edges, 12)
+	gotD := splitRuns(t, disjoint, edges, 13)
+	seqI := RunEdgePFT(intersects, edges)
+
+	for i, poly := range polys {
+		wantI := geom.Intersects(poly, ref)
+		wantW := geom.Within(poly, ref)
+		if gotI[i] != wantI {
+			t.Errorf("shape %d: IntersectsPFT = %v, want %v (poly %v)", i, gotI[i], wantI, poly.Bound())
+		}
+		if seqI[i] != wantI {
+			t.Errorf("shape %d: sequential IntersectsPFT = %v, want %v", i, seqI[i], wantI)
+		}
+		if gotW[i] != wantW {
+			t.Errorf("shape %d: WithinPFT = %v, want %v", i, gotW[i], wantW)
+		}
+		if gotD[i] != !wantI {
+			t.Errorf("shape %d: DisjointPFT = %v, want %v", i, gotD[i], !wantI)
+		}
+	}
+}
+
+func TestIntersectsPFTReferenceInsideShape(t *testing.T) {
+	// The shape fully contains the reference: only the ray-parity test
+	// can detect this.
+	ref := geom.Polygon{geom.Ring{
+		{X: -1, Y: -1}, {X: 1, Y: -1}, {X: 1, Y: 1}, {X: -1, Y: 1}, {X: -1, Y: -1},
+	}}
+	shape := geom.Polygon{geom.Ring{
+		{X: -10, Y: -10}, {X: 10, Y: -10}, {X: 10, Y: 10}, {X: -10, Y: 10}, {X: -10, Y: -10},
+	}}
+	got := splitRuns(t, IntersectsPFT(ref), [][]Edge{EdgesOf(shape)}, 3)
+	if len(got) != 1 || !got[0] {
+		t.Fatalf("containing shape should intersect: %v", got)
+	}
+}
+
+func TestPerimeterAndAreaPFTMatchGeom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	polys, edges := randomSquares(rng, 20)
+
+	per := PerimeterPFT(geom.Haversine)
+	area := SphericalAreaPFT()
+	gotP := splitRuns(t, per, edges, 21)
+	gotA := splitRuns(t, area, edges, 22)
+	for i, poly := range polys {
+		wantP := geom.Perimeter(poly, geom.Haversine)
+		wantA := geom.SphericalArea(poly)
+		if math.Abs(gotP[i]-wantP) > 1e-6*wantP {
+			t.Errorf("shape %d: perimeter %v, want %v", i, gotP[i], wantP)
+		}
+		if math.Abs(gotA[i]-wantA) > 1e-6*wantA {
+			t.Errorf("shape %d: area %v, want %v", i, gotA[i], wantA)
+		}
+	}
+}
+
+func TestConvexHullPFTSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := ConvexHullPFT()
+	// One big shape with many points, split heavily.
+	var pts []geom.Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+	}
+	// Random fragments.
+	var frags []at.PFTFragment[HullState, geom.Polygon]
+	for pos := 0; pos < len(pts); {
+		size := rng.Intn(40) + 1
+		if pos+size > len(pts) {
+			size = len(pts) - pos
+		}
+		run := p.NewRun()
+		for _, q := range pts[pos : pos+size] {
+			run.Process(q)
+		}
+		frags = append(frags, run.Fragment())
+		pos += size
+	}
+	merged := frags[0]
+	for _, f := range frags[1:] {
+		merged = at.MergePFT(p, merged, f)
+	}
+	run := p.NewRun()
+	// Compare against the direct hull.
+	got := p.Finish(merged.Spec)
+	want := geom.HullOfPoints(pts)
+	_ = run
+	if math.Abs(math.Abs(got[0].SignedArea())-math.Abs(want[0].SignedArea())) > 1e-9 {
+		t.Fatalf("hull area %v != %v", got[0].SignedArea(), want[0].SignedArea())
+	}
+}
+
+func TestIsEmptyPFT(t *testing.T) {
+	p := IsEmptyPFT()
+	run := p.NewRun()
+	run.Flush() // empty shape
+	run.Process(geom.Point{X: 1, Y: 2})
+	run.Flush() // non-empty shape
+	got := at.FinalizePFT(p, run.Fragment(), true, false)
+	if len(got) != 2 || !got[0] || got[1] {
+		t.Fatalf("IsEmpty outputs = %v, want [true false]", got)
+	}
+}
+
+func TestMinDistancePFTMatchesGeom(t *testing.T) {
+	ref := geom.Polygon{geom.Ring{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}, {X: 0, Y: 0},
+	}}
+	shape := geom.Polygon{geom.Ring{
+		{X: 5, Y: 0}, {X: 7, Y: 0}, {X: 7, Y: 2}, {X: 5, Y: 2}, {X: 5, Y: 0},
+	}}
+	p := MinDistancePFT(ref, geom.Haversine)
+	got := splitRuns(t, p, [][]Edge{EdgesOf(shape)}, 6)
+	want := geom.GeometryDistance(shape, ref, geom.Haversine)
+	if math.Abs(got[0]-want) > 1e-6*want {
+		t.Fatalf("distance %v, want %v", got[0], want)
+	}
+	// Intersecting shapes have distance 0.
+	touching := geom.Polygon{geom.Ring{
+		{X: 1, Y: 1}, {X: 3, Y: 1}, {X: 3, Y: 3}, {X: 1, Y: 3}, {X: 1, Y: 1},
+	}}
+	got = splitRuns(t, p, [][]Edge{EdgesOf(touching)}, 7)
+	if got[0] != 0 {
+		t.Fatalf("intersecting distance = %v, want 0", got[0])
+	}
+}
+
+// Associativity of the relation-state merge, the key Table-1 claim.
+func TestRelStateMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mk := func() RelState {
+		return RelState{
+			EdgeHit:      rng.Intn(2) == 0,
+			RayCrossings: rng.Intn(5),
+			First:        geom.Point{X: rng.Float64(), Y: rng.Float64()},
+			HasFirst:     rng.Intn(2) == 0,
+		}
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := mk(), mk(), mk()
+		l := mergeRel(mergeRel(a, b), c)
+		r := mergeRel(a, mergeRel(b, c))
+		if l != r {
+			t.Fatalf("mergeRel not associative: %+v vs %+v", l, r)
+		}
+	}
+	// Identity.
+	s := mk()
+	if mergeRel(RelState{}, s) != s {
+		t.Error("zero RelState is not a left identity")
+	}
+}

@@ -1,0 +1,357 @@
+package query
+
+import (
+	"math"
+
+	"atgis/internal/geom"
+	"atgis/internal/partition"
+)
+
+// Kind enumerates the Table-3 query classes.
+type Kind uint8
+
+// Query kinds.
+const (
+	Containment Kind = iota
+	Aggregation
+	Join
+	Combined
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Containment:
+		return "containment"
+	case Aggregation:
+		return "aggregation"
+	case Join:
+		return "join"
+	default:
+		return "combined"
+	}
+}
+
+// FilterMode selects the pipeline layout for selections whose point data
+// is needed downstream (paper §4.4(2), Fig. 7).
+type FilterMode uint8
+
+// Filter modes.
+const (
+	// Streaming computes the aggregate concurrently with the filter
+	// test, discarding it on rejection: redundant computation, no
+	// buffering.
+	Streaming FilterMode = iota
+	// Buffered holds the geometry until the filter outcome is known and
+	// only then computes: no redundant computation, buffering overhead.
+	Buffered
+)
+
+func (m FilterMode) String() string {
+	if m == Buffered {
+		return "buffered"
+	}
+	return "streaming"
+}
+
+// Spec describes a single-pass query (containment or aggregation) in the
+// form of Table 3.
+type Spec struct {
+	Kind Kind
+	// Ref is the reference region; predicates compare candidates to it.
+	Ref geom.Geometry
+	// RefBox is the reference MBR, used for cheap prefiltering. Set
+	// automatically by Normalize.
+	RefBox geom.Box
+	// Pred is the filter predicate (ST_Intersects in Table 3).
+	Pred Predicate
+	// Mode selects streaming or buffered filtering.
+	Mode FilterMode
+	// Dist selects the distance computation for perimeters.
+	Dist geom.DistanceMethod
+	// KeepMatches buffers matching features (containment result set).
+	KeepMatches bool
+	// WantArea / WantPerimeter / WantMBR / WantHull select aggregates.
+	WantArea      bool
+	WantPerimeter bool
+	WantMBR       bool
+	WantHull      bool
+}
+
+// Normalize fills derived fields.
+func (s *Spec) Normalize() {
+	if s.Ref != nil {
+		s.RefBox = s.Ref.Bound()
+	}
+}
+
+// Match is one feature accepted by a containment query.
+type Match struct {
+	ID     int64
+	Offset int64
+	Box    geom.Box
+}
+
+// Result is the associatively-mergeable fragment of a single-pass query:
+// numeric aggregates map directly into the pipeline (paper §4.4(3)),
+// matches buffer for output.
+type Result struct {
+	Count        int64
+	SumArea      float64
+	SumPerimeter float64
+	MBR          geom.Box
+	HullPts      []geom.Point
+	Matches      []Match
+	// Scanned counts all features examined (matched or not).
+	Scanned int64
+}
+
+// NewResult returns the merge-identity result.
+func NewResult() *Result {
+	return &Result{MBR: geom.EmptyBox()}
+}
+
+// Merge absorbs another fragment; all components are associative.
+func (r *Result) Merge(o *Result) {
+	if o == nil {
+		return
+	}
+	r.Count += o.Count
+	r.SumArea += o.SumArea
+	r.SumPerimeter += o.SumPerimeter
+	r.MBR = r.MBR.Union(o.MBR)
+	r.HullPts = append(r.HullPts, o.HullPts...)
+	r.Matches = append(r.Matches, o.Matches...)
+	r.Scanned += o.Scanned
+}
+
+// Hull finalises the convex hull aggregate.
+func (r *Result) Hull() geom.Polygon { return geom.HullOfPoints(r.HullPts) }
+
+// FeatureVal is the per-feature outcome of a Spec, computable inside the
+// parallel phase with no shared state (the transformation stage of
+// Fig. 6). Matched features carry their aggregates.
+type FeatureVal struct {
+	Matched         bool
+	Area, Perimeter float64
+}
+
+// Apply computes the Spec's per-feature outcome. The streaming/buffered
+// distinction (Fig. 7) places the aggregate computation before or after
+// the filter test: same results, different cost profile.
+func Apply(s *Spec, f *geom.Feature) FeatureVal {
+	if f.Geom == nil {
+		return FeatureVal{}
+	}
+	e := Evaluator{Spec: s}
+	switch s.Mode {
+	case Buffered:
+		if !e.match(f) {
+			return FeatureVal{}
+		}
+		area, perim := e.compute(f)
+		return FeatureVal{Matched: true, Area: area, Perimeter: perim}
+	default:
+		area, perim := e.compute(f)
+		if !e.match(f) {
+			return FeatureVal{}
+		}
+		return FeatureVal{Matched: true, Area: area, Perimeter: perim}
+	}
+}
+
+// Absorb folds a per-feature outcome into the result fragment.
+func (r *Result) Absorb(s *Spec, f *geom.Feature, v FeatureVal) {
+	r.Scanned++
+	if !v.Matched {
+		return
+	}
+	r.Count++
+	r.SumArea += v.Area
+	r.SumPerimeter += v.Perimeter
+	if s.WantMBR {
+		r.MBR = r.MBR.Union(f.Geom.Bound())
+	}
+	if s.WantHull {
+		f.Geom.EachPoint(func(p geom.Point) bool {
+			r.HullPts = append(r.HullPts, p)
+			return true
+		})
+	}
+	if s.KeepMatches {
+		r.Matches = append(r.Matches, Match{ID: f.ID, Offset: f.Offset, Box: f.Geom.Bound()})
+	}
+}
+
+// Evaluator applies a Spec to one feature at a time, accumulating a
+// Result fragment. One evaluator runs per worker (thread-local state,
+// paper §1) and fragments merge afterwards.
+type Evaluator struct {
+	Spec *Spec
+	Res  *Result
+}
+
+// NewEvaluator returns a fresh evaluator with an identity fragment.
+func NewEvaluator(s *Spec) *Evaluator {
+	return &Evaluator{Spec: s, Res: NewResult()}
+}
+
+// Consume evaluates one feature.
+func (e *Evaluator) Consume(f *geom.Feature) {
+	e.Res.Scanned++
+	if f.Geom == nil {
+		return
+	}
+	s := e.Spec
+	switch s.Mode {
+	case Buffered:
+		// Test first ("buffer" the geometry), compute only on match.
+		if !e.match(f) {
+			return
+		}
+		e.accept(f)
+	default:
+		// Streaming: compute the aggregate concurrently with the test.
+		area, perim := e.compute(f)
+		if !e.match(f) {
+			return
+		}
+		e.acceptPrecomputed(f, area, perim)
+	}
+}
+
+// match runs the MBR prefilter followed by the exact predicate.
+func (e *Evaluator) match(f *geom.Feature) bool {
+	s := e.Spec
+	if s.Ref == nil {
+		return true
+	}
+	b := f.Geom.Bound()
+	switch s.Pred {
+	case PredDisjoint:
+		// MBR disjointness proves geometry disjointness.
+		if !b.Intersects(s.RefBox) {
+			return true
+		}
+	case PredWithin:
+		if !s.RefBox.ContainsBox(b) {
+			return false
+		}
+	default:
+		if !b.Intersects(s.RefBox) {
+			return false
+		}
+	}
+	return s.Pred.Eval(f.Geom, s.Ref)
+}
+
+// compute produces the per-feature aggregate values.
+func (e *Evaluator) compute(f *geom.Feature) (area, perim float64) {
+	s := e.Spec
+	if s.WantArea {
+		area = geom.SphericalArea(f.Geom)
+	}
+	if s.WantPerimeter {
+		perim = geom.Perimeter(f.Geom, s.Dist)
+	}
+	return area, perim
+}
+
+func (e *Evaluator) accept(f *geom.Feature) {
+	area, perim := e.compute(f)
+	e.acceptPrecomputed(f, area, perim)
+}
+
+func (e *Evaluator) acceptPrecomputed(f *geom.Feature, area, perim float64) {
+	s := e.Spec
+	r := e.Res
+	r.Count++
+	r.SumArea += area
+	r.SumPerimeter += perim
+	if s.WantMBR {
+		r.MBR = r.MBR.Union(f.Geom.Bound())
+	}
+	if s.WantHull {
+		f.Geom.EachPoint(func(p geom.Point) bool {
+			r.HullPts = append(r.HullPts, p)
+			return true
+		})
+	}
+	if s.KeepMatches {
+		r.Matches = append(r.Matches, Match{ID: f.ID, Offset: f.Offset, Box: f.Geom.Bound()})
+	}
+}
+
+// SideA and SideB are the bits of a PartitionSink side mask.
+const (
+	SideA uint8 = 1 << iota
+	SideB
+)
+
+// PartitionSink bins features for the first pass of a join query (the
+// Partition pipeline of Fig. 6).
+type PartitionSink struct {
+	// Mask routes features to the join sides: bit SideA and/or SideB.
+	// Table 3's join query splits one dataset into disjoint subsets by
+	// id; the combined query's filters may place an object on both
+	// sides. nil means SideA only.
+	Mask func(f *geom.Feature) uint8
+	Sets [2]*partition.Set
+}
+
+// NewPartitionSink builds sinks for both join sides over the same grid.
+func NewPartitionSink(g partition.Grid, kind partition.StoreKind, mask func(f *geom.Feature) uint8) *PartitionSink {
+	return &PartitionSink{
+		Mask: mask,
+		Sets: [2]*partition.Set{partition.NewSet(g, kind), partition.NewSet(g, kind)},
+	}
+}
+
+// Consume bins one feature.
+func (p *PartitionSink) Consume(f *geom.Feature) {
+	if f.Geom == nil {
+		return
+	}
+	mask := SideA
+	if p.Mask != nil {
+		mask = p.Mask(f)
+	}
+	e := partition.Entry{Box: f.Geom.Bound(), Off: f.Offset, ID: f.ID}
+	if mask&SideA != 0 {
+		p.Sets[0].Insert(e)
+	}
+	if mask&SideB != 0 {
+		p.Sets[1].Insert(e)
+	}
+}
+
+// Merge absorbs another sink.
+func (p *PartitionSink) Merge(o *PartitionSink) error {
+	if err := p.Sets[0].Merge(o.Sets[0]); err != nil {
+		return err
+	}
+	return p.Sets[1].Merge(o.Sets[1])
+}
+
+// SelectivityArea returns the fraction of the data extent covered by the
+// reference box — the x-axis of the paper's Fig. 13.
+func SelectivityArea(ref, extent geom.Box) float64 {
+	if extent.Area() == 0 {
+		return 0
+	}
+	return ref.Intersect(extent).Area() / extent.Area()
+}
+
+// ScaleBox returns a box centred like b whose area is frac of extent,
+// used by the Fig. 13 selectivity sweeps.
+func ScaleBox(extent geom.Box, frac float64) geom.Box {
+	if frac <= 0 {
+		return geom.EmptyBox()
+	}
+	if frac >= 1 {
+		return extent
+	}
+	w := (extent.MaxX - extent.MinX) * math.Sqrt(frac)
+	h := (extent.MaxY - extent.MinY) * math.Sqrt(frac)
+	c := extent.Center()
+	return geom.Box{MinX: c.X - w/2, MinY: c.Y - h/2, MaxX: c.X + w/2, MaxY: c.Y + h/2}
+}

@@ -1,0 +1,386 @@
+// Package wkt reads and writes the well-known-text spatial format used
+// by the paper's OSM-W dataset: one object per line, a numeric id, a tab,
+// and the WKT geometry. Newline-delimited records make WKT the easiest
+// format to split (paper §2.2), so parallel execution uses a simple
+// line-boundary splitter with no speculation.
+package wkt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"atgis/internal/geom"
+)
+
+// ParseLine parses one record of the form "<id>\t<WKT>". off is the byte
+// offset of the line start, recorded on the feature for join re-parsing.
+func ParseLine(line []byte, off int64) (geom.Feature, error) {
+	f := geom.Feature{Offset: off}
+	i := 0
+	// Parse the id.
+	neg := false
+	if i < len(line) && line[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		f.ID = f.ID*10 + int64(line[i]-'0')
+		i++
+	}
+	if i == start {
+		return f, fmt.Errorf("wkt: missing id in %.40q", line)
+	}
+	if neg {
+		f.ID = -f.ID
+	}
+	for i < len(line) && (line[i] == '\t' || line[i] == ' ') {
+		i++
+	}
+	g, _, err := ParseGeometry(line[i:])
+	if err != nil {
+		return f, err
+	}
+	f.Geom = g
+	return f, nil
+}
+
+// ParseGeometry parses a WKT geometry, returning the geometry and the
+// number of bytes consumed.
+func ParseGeometry(b []byte) (geom.Geometry, int, error) {
+	p := &parser{b: b}
+	g, err := p.geometry()
+	if err != nil {
+		return nil, p.i, err
+	}
+	return g, p.i, nil
+}
+
+type parser struct {
+	b []byte
+	i int
+}
+
+func (p *parser) ws() {
+	for p.i < len(p.b) && (p.b[p.i] == ' ' || p.b[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *parser) keyword() string {
+	p.ws()
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') {
+			p.i++
+			continue
+		}
+		break
+	}
+	return string(p.b[start:p.i])
+}
+
+func (p *parser) expect(c byte) error {
+	p.ws()
+	if p.i >= len(p.b) || p.b[p.i] != c {
+		return fmt.Errorf("wkt: expected %q at %d in %.60q", c, p.i, p.b)
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) peek() byte {
+	p.ws()
+	if p.i >= len(p.b) {
+		return 0
+	}
+	return p.b[p.i]
+}
+
+func (p *parser) number() (float64, error) {
+	p.ws()
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.i++
+			continue
+		}
+		break
+	}
+	if start == p.i {
+		return 0, fmt.Errorf("wkt: expected number at %d in %.60q", p.i, p.b)
+	}
+	return strconv.ParseFloat(string(p.b[start:p.i]), 64)
+}
+
+func (p *parser) point() (geom.Point, error) {
+	x, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Point{X: x, Y: y}, nil
+}
+
+// pointList parses "(x y, x y, ...)".
+func (p *parser) pointList() ([]geom.Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []geom.Point
+	for {
+		pt, err := p.point()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if p.peek() == ',' {
+			p.i++
+			continue
+		}
+		break
+	}
+	return pts, p.expect(')')
+}
+
+// ringList parses "((...),(...))".
+func (p *parser) ringList() ([]geom.Ring, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var rings []geom.Ring
+	for {
+		pts, err := p.pointList()
+		if err != nil {
+			return nil, err
+		}
+		rings = append(rings, geom.Ring(pts))
+		if p.peek() == ',' {
+			p.i++
+			continue
+		}
+		break
+	}
+	return rings, p.expect(')')
+}
+
+func (p *parser) geometry() (geom.Geometry, error) {
+	kw := p.keyword()
+	switch kw {
+	case "POINT":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		pt, err := p.point()
+		if err != nil {
+			return nil, err
+		}
+		return geom.PointGeom{P: pt}, p.expect(')')
+	case "LINESTRING":
+		pts, err := p.pointList()
+		if err != nil {
+			return nil, err
+		}
+		return geom.LineString(pts), nil
+	case "POLYGON":
+		rings, err := p.ringList()
+		if err != nil {
+			return nil, err
+		}
+		return geom.Polygon(rings), nil
+	case "MULTIPOLYGON":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var mp geom.MultiPolygon
+		for {
+			rings, err := p.ringList()
+			if err != nil {
+				return nil, err
+			}
+			mp = append(mp, geom.Polygon(rings))
+			if p.peek() == ',' {
+				p.i++
+				continue
+			}
+			break
+		}
+		return mp, p.expect(')')
+	case "GEOMETRYCOLLECTION":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var coll geom.Collection
+		for {
+			g, err := p.geometry()
+			if err != nil {
+				return nil, err
+			}
+			coll = append(coll, g)
+			if p.peek() == ',' {
+				p.i++
+				continue
+			}
+			break
+		}
+		return coll, p.expect(')')
+	default:
+		return nil, fmt.Errorf("wkt: unknown geometry %q", kw)
+	}
+}
+
+// SplitLines returns the offsets of line starts so blocks can be formed
+// on newline boundaries, the paper's fixed-block strategy for simple
+// formats. Block boundaries are chosen at the first newline at or after
+// each multiple of blockSize.
+func SplitLines(input []byte, blockSize int) []int64 {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	var cuts []int64
+	for target := blockSize; target < len(input); {
+		i := target
+		for i < len(input) && input[i-1] != '\n' {
+			i++
+		}
+		if i >= len(input) {
+			break
+		}
+		cuts = append(cuts, int64(i))
+		target = i + blockSize
+	}
+	return cuts
+}
+
+// EachLine invokes fn for every non-empty line in block (offsets
+// absolute).
+func EachLine(input []byte, start, end int64, fn func(line []byte, off int64) error) error {
+	pos := start
+	for pos < end {
+		nl := pos
+		for nl < end && input[nl] != '\n' {
+			nl++
+		}
+		line := input[pos:nl]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > 0 {
+			if err := fn(line, pos); err != nil {
+				return err
+			}
+		}
+		pos = nl + 1
+	}
+	return nil
+}
+
+// Writer emits one feature per line in "<id>\t<WKT>" form.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *Writer) str(s string) {
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+func (w *Writer) num(v float64) {
+	if w.err == nil {
+		var buf [32]byte
+		_, w.err = w.w.Write(strconv.AppendFloat(buf[:0], v, 'g', -1, 64))
+	}
+}
+
+// WriteFeature appends one record.
+func (w *Writer) WriteFeature(f *geom.Feature) {
+	w.str(strconv.FormatInt(f.ID, 10))
+	w.str("\t")
+	w.writeGeometry(f.Geom)
+	w.str("\n")
+}
+
+func (w *Writer) writeGeometry(g geom.Geometry) {
+	switch t := g.(type) {
+	case geom.PointGeom:
+		w.str("POINT (")
+		w.writePoint(t.P)
+		w.str(")")
+	case geom.LineString:
+		w.str("LINESTRING ")
+		w.writePoints(t)
+	case geom.Polygon:
+		w.str("POLYGON ")
+		w.writeRings(t)
+	case geom.MultiPolygon:
+		w.str("MULTIPOLYGON (")
+		for i, p := range t {
+			if i > 0 {
+				w.str(", ")
+			}
+			w.writeRings(p)
+		}
+		w.str(")")
+	case geom.Collection:
+		w.str("GEOMETRYCOLLECTION (")
+		for i, m := range t {
+			if i > 0 {
+				w.str(", ")
+			}
+			w.writeGeometry(m)
+		}
+		w.str(")")
+	default:
+		w.str("POINT (0 0)")
+	}
+}
+
+func (w *Writer) writePoint(p geom.Point) {
+	w.num(p.X)
+	w.str(" ")
+	w.num(p.Y)
+}
+
+func (w *Writer) writePoints(pts []geom.Point) {
+	w.str("(")
+	for i, p := range pts {
+		if i > 0 {
+			w.str(", ")
+		}
+		w.writePoint(p)
+	}
+	w.str(")")
+}
+
+func (w *Writer) writeRings(p geom.Polygon) {
+	w.str("(")
+	for i, r := range p {
+		if i > 0 {
+			w.str(", ")
+		}
+		w.writePoints(r.Canonical())
+	}
+	w.str(")")
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

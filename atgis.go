@@ -212,7 +212,15 @@ func (d *Dataset) geojsonConfig(spec *query.Spec, opt Options) *geojson.Config {
 }
 
 func (d *Dataset) runGeoJSON(spec *query.Spec, opt Options, sink func(geojson.FeatureOut)) (pipeline.Stats, int, int, error) {
-	cfg := d.geojsonConfig(spec, opt)
+	return d.runGeoJSONWith(d.geojsonConfig(spec, opt), opt, sink)
+}
+
+// runGeoJSONWith executes the GeoJSON pipeline (FAT or PAT per opt.Mode)
+// with an explicit extraction config, streaming features into sink. It
+// returns the pipeline stats plus the repaired (PAT) and reprocessed
+// (FAT) block counts. Both the query path and the join partition pass
+// share this one pipeline assembly.
+func (d *Dataset) runGeoJSONWith(cfg *geojson.Config, opt Options, sink func(geojson.FeatureOut)) (pipeline.Stats, int, int, error) {
 	if opt.Mode == FAT {
 		fold := geojson.NewFold(d.Data, cfg, sink)
 		st := pipeline.Run(d.Data,
@@ -223,17 +231,16 @@ func (d *Dataset) runGeoJSON(spec *query.Spec, opt Options, sink func(geojson.Fe
 			},
 			func(b pipeline.Block, r geojson.BlockResult) { fold.Add(r) },
 		)
-		if err := fold.Finish(); err != nil {
-			return st, 0, fold.Reprocessed, err
-		}
-		return st, 0, fold.Reprocessed, nil
+		return st, 0, fold.Reprocessed, fold.Finish()
 	}
 	// PAT: boundary-searching splitter plus optimised per-block parser.
+	// The boundary scan streams cuts so block parsing starts while the
+	// scan is still running.
 	fold := geojson.NewPATFold(d.Data, cfg, sink)
 	headerDone := false
 	st := pipeline.Run(d.Data,
-		pipeline.SplitterFunc(func(input []byte) []int64 {
-			return geojson.FindFeatureBoundaries(input, opt.blockSize())
+		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
+			geojson.FindFeatureBoundariesStream(input, opt.blockSize(), yield)
 		}),
 		opt.workers(),
 		func(b pipeline.Block) *geojson.PATBlockResult {
@@ -256,10 +263,7 @@ func (d *Dataset) runGeoJSON(spec *query.Spec, opt Options, sink func(geojson.Fe
 			fold.Add(*r)
 		},
 	)
-	if err := fold.Finish(int64(len(d.Data))); err != nil {
-		return st, fold.Repaired, 0, err
-	}
-	return st, fold.Repaired, 0, nil
+	return st, fold.Repaired, 0, fold.Finish(int64(len(d.Data)))
 }
 
 func (d *Dataset) runWKT(opt Options, consume func(*geom.Feature)) (pipeline.Stats, error) {
@@ -269,8 +273,8 @@ func (d *Dataset) runWKT(opt Options, consume func(*geom.Feature)) (pipeline.Sta
 	}
 	var firstErr error
 	st := pipeline.Run(d.Data,
-		pipeline.SplitterFunc(func(input []byte) []int64 {
-			return wkt.SplitLines(input, opt.blockSize())
+		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
+			wkt.SplitLinesStream(input, opt.blockSize(), yield)
 		}),
 		opt.workers(),
 		func(b pipeline.Block) frag {
@@ -312,8 +316,8 @@ func (d *Dataset) runOSM(opt Options, consume func(*geom.Feature)) (pipeline.Sta
 	var allWays []*osmxml.Way
 	var allRels []*osmxml.Relation
 	st := pipeline.Run(d.Data,
-		pipeline.SplitterFunc(func(input []byte) []int64 {
-			return osmxml.SplitElements(input, opt.blockSize())
+		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
+			osmxml.SplitElementsStream(input, opt.blockSize(), yield)
 		}),
 		opt.workers(),
 		func(b pipeline.Block) frag {
@@ -373,13 +377,10 @@ func (d *Dataset) runOSM(opt Options, consume func(*geom.Feature)) (pipeline.Sta
 	return st, nil
 }
 
-// collectFeatures parses the whole dataset into features (used by the
+// CollectFeatures parses the whole dataset into features (used by the
 // baseline engines, which require loaded data — the phase AT-GIS skips).
 func (d *Dataset) CollectFeatures(opt Options) ([]geom.Feature, error) {
 	var feats []geom.Feature
-	spec := &query.Spec{} // no filtering
-	res := &Result{Res: query.NewResult()}
-	_ = res
 	consume := func(f *geom.Feature) { feats = append(feats, *f) }
 	var err error
 	switch d.Format {
@@ -394,7 +395,6 @@ func (d *Dataset) CollectFeatures(opt Options) ([]geom.Feature, error) {
 	default:
 		err = fmt.Errorf("atgis: unsupported format %v", d.Format)
 	}
-	_ = spec
 	if err != nil {
 		return nil, err
 	}
@@ -534,66 +534,21 @@ func (d *Dataset) partitionPass(
 ) pipeline.Stats {
 	switch d.Format {
 	case GeoJSON:
-		cfg := &geojson.Config{PropKeys: opt.PropKeys}
-		if opt.Mode == FAT {
-			// FAT partition pipeline.
-			foldSink := newFrag()
-			fold := geojson.NewFold(d.Data, cfg, func(f geojson.FeatureOut) {
-				processFeature(foldSink, &f.Feature)
-			})
-			st := pipeline.Run(d.Data,
-				pipeline.FixedSplitter{BlockSize: opt.blockSize()},
-				opt.workers(),
-				func(b pipeline.Block) geojson.BlockResult {
-					return geojson.ProcessBlockFAT(d.Data, b.Start, b.End, cfg)
-				},
-				func(b pipeline.Block, r geojson.BlockResult) { fold.Add(r) },
-			)
-			if err := fold.Finish(); err != nil {
-				foldSink.err = err
-			}
-			foldFrag(foldSink)
-			return st
-		}
+		// Same PAT/FAT pipeline as queries, minus the fused Eval.
 		foldSink := newFrag()
-		fold := geojson.NewPATFold(d.Data, cfg, func(f geojson.FeatureOut) {
-			processFeature(foldSink, &f.Feature)
-		})
-		headerDone := false
-		st := pipeline.Run(d.Data,
-			pipeline.SplitterFunc(func(input []byte) []int64 {
-				return geojson.FindFeatureBoundaries(input, opt.blockSize())
-			}),
-			opt.workers(),
-			func(b pipeline.Block) *geojson.PATBlockResult {
-				if b.Index == 0 {
-					return nil
-				}
-				r := geojson.ProcessBlockPAT(d.Data, b.Start, b.End, cfg)
-				return &r
-			},
-			func(b pipeline.Block, r *geojson.PATBlockResult) {
-				if r == nil {
-					fold.Header(b.End)
-					headerDone = true
-					return
-				}
-				if !headerDone {
-					fold.Header(0)
-					headerDone = true
-				}
-				fold.Add(*r)
-			},
+		st, _, _, err := d.runGeoJSONWith(
+			&geojson.Config{PropKeys: opt.PropKeys}, opt,
+			func(f geojson.FeatureOut) { processFeature(foldSink, &f.Feature) },
 		)
-		if err := fold.Finish(int64(len(d.Data))); err != nil {
+		if err != nil {
 			foldSink.err = err
 		}
 		foldFrag(foldSink)
 		return st
 	case WKT:
 		return pipeline.Run(d.Data,
-			pipeline.SplitterFunc(func(input []byte) []int64 {
-				return wkt.SplitLines(input, opt.blockSize())
+			pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
+				wkt.SplitLinesStream(input, opt.blockSize(), yield)
 			}),
 			opt.workers(),
 			func(b pipeline.Block) *fragOf {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,8 @@ func main() {
 	workers := flag.Int("workers", 0, "max workers for scaling sweeps (0 = NumCPU)")
 	seed := flag.Int64("seed", 0, "dataset seed (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids")
+	jsonOut := flag.Bool("json", false,
+		"run the headline micro-benchmarks and emit a machine-readable JSON summary (name, ns/op, MB/s, allocs/op)")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +42,18 @@ func main() {
 		JoinFeatures: *joinFeatures,
 		MaxWorkers:   *workers,
 		Seed:         *seed,
+	}
+	if *jsonOut {
+		if *exp != "all" {
+			fmt.Fprintln(os.Stderr, "atgis-bench: -json runs the fixed micro-benchmark suite; -exp is ignored")
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(experiments.Micro(cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, "atgis-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *exp == "all" {
 		for _, r := range experiments.All(cfg) {

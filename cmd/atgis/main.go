@@ -118,8 +118,10 @@ func main() {
 
 func printStats(res *atgis.Result) {
 	st := res.Stats
-	fmt.Printf("phases: split %v, process %v, merge %v (%d blocks, %d workers, %.1f MB/s)\n",
-		st.SplitTime, st.ProcessTime, st.MergeTime, st.Blocks, st.Workers, st.ThroughputMBs())
+	// Split overlaps processing, so the phases do not sum: wall time is
+	// the total (Stats.Total).
+	fmt.Printf("phases: split %v (overlapped), process %v, merge %v; wall %v (%d blocks, %d workers, %.1f MB/s)\n",
+		st.SplitTime, st.ProcessTime, st.MergeTime, st.Total(), st.Blocks, st.Workers, st.ThroughputMBs())
 	if res.Repaired > 0 || res.Reprocessed > 0 {
 		fmt.Printf("repaired blocks: %d, reprocessed blocks: %d\n", res.Repaired, res.Reprocessed)
 	}

@@ -1,0 +1,3 @@
+module atgis
+
+go 1.24

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"atgis"
+	"atgis/internal/geom"
+	"atgis/internal/lexer"
+	"atgis/internal/query"
+	"atgis/internal/synth"
+)
+
+// MicroResult is one machine-readable benchmark measurement, mirroring
+// the fields `go test -bench -benchmem` reports so perf trajectory can
+// be recorded across PRs (BENCH_*.json).
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_op"`
+	MBPerSec    float64 `json:"mb_s"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+func microDataset(cfg Config, format atgis.Format, n int) *atgis.Dataset {
+	scfg := synth.Config{Seed: cfg.Seed, N: n, MultiPolyFrac: 0.15, LineFrac: 0.15, MetadataBytes: 60}
+	var buf bytes.Buffer
+	g := synth.New(scfg)
+	var err error
+	switch format {
+	case atgis.WKT:
+		err = g.WriteWKT(&buf)
+	case atgis.OSMXML:
+		err = g.WriteOSMXML(&buf)
+	default:
+		err = g.WriteGeoJSON(&buf)
+	}
+	if err != nil {
+		panic(err)
+	}
+	ds, err := atgis.FromBytes(buf.Bytes(), format)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func microResult(name string, bytes int64, r testing.BenchmarkResult) MicroResult {
+	out := MicroResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if secs := r.T.Seconds(); secs > 0 && bytes > 0 {
+		out.MBPerSec = float64(bytes) * float64(r.N) / (1 << 20) / secs
+	}
+	return out
+}
+
+// Micro runs the headline throughput/allocation benchmarks (Fig. 9a
+// containment, Fig. 12 formats, the JSON lexer stages) via
+// testing.Benchmark and returns machine-readable results. The query
+// datasets default to 2000/1500 features (the cross-PR BENCH_*.json
+// scale); -features and -workers override when set.
+func Micro(cfg Config) []MicroResult {
+	queryN, formatN := 2000, 1500
+	if cfg.Features > 0 {
+		queryN = cfg.Features
+		formatN = cfg.Features * 3 / 4
+	}
+	cfg = cfg.Defaults()
+	var out []MicroResult
+
+	qspec := func() *query.Spec {
+		return &query.Spec{
+			Kind:        query.Containment,
+			Ref:         query.ScaleBox(synth.Extent, 0.25).AsPolygon(),
+			Pred:        query.PredIntersects,
+			Dist:        geom.Haversine,
+			KeepMatches: true,
+		}
+	}
+	aspec := func() *query.Spec {
+		return &query.Spec{
+			Kind:     query.Aggregation,
+			Ref:      query.ScaleBox(synth.Extent, 0.25).AsPolygon(),
+			Pred:     query.PredIntersects,
+			Dist:     geom.Haversine,
+			WantArea: true, WantPerimeter: true,
+		}
+	}
+
+	queryBench := func(name string, ds *atgis.Dataset, spec *query.Spec, mode atgis.Mode) {
+		opt := atgis.Options{Mode: mode, BlockSize: 64 << 10, Workers: cfg.MaxWorkers}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.Query(spec, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, microResult(name, int64(len(ds.Data)), r))
+	}
+
+	gj := microDataset(cfg, atgis.GeoJSON, queryN)
+	queryBench("Fig9aContainment/PAT", gj, qspec(), atgis.PAT)
+	queryBench("Fig9aContainment/FAT", gj, qspec(), atgis.FAT)
+
+	fm := microDataset(cfg, atgis.GeoJSON, formatN)
+	queryBench("Fig12Formats/GeoJSON-PAT", fm, aspec(), atgis.PAT)
+	queryBench("Fig12Formats/GeoJSON-FAT", fm, aspec(), atgis.FAT)
+	wk := microDataset(cfg, atgis.WKT, formatN)
+	queryBench("Fig12Formats/WKT", wk, aspec(), atgis.PAT)
+	ox := microDataset(cfg, atgis.OSMXML, formatN)
+	queryBench("Fig12Formats/OSMXML", ox, aspec(), atgis.PAT)
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			lexer.ScanJSON(lexer.JSONDefault, gj.Data, 0, func(lexer.Token) { n++ })
+			if n == 0 {
+				b.Fatal("no tokens")
+			}
+		}
+	})
+	out = append(out, microResult("LexerThroughput/Sequential", int64(len(gj.Data)), r))
+
+	r = testing.Benchmark(func(b *testing.B) {
+		// Pooled speculator: the steady-state path ProcessBlockFAT runs.
+		s := lexer.AcquireSpeculator()
+		defer lexer.ReleaseSpeculator(s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if variants := s.Lex(gj.Data, 0); len(variants) == 0 {
+				b.Fatal("no variants")
+			}
+		}
+	})
+	out = append(out, microResult("LexerThroughput/Speculative", int64(len(gj.Data)), r))
+
+	return out
+}

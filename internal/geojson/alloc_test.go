@@ -1,0 +1,76 @@
+package geojson
+
+import (
+	"testing"
+
+	"atgis/internal/geom"
+)
+
+// allocDoc builds a moderately sized document for allocation budgets.
+func allocDoc(t *testing.T) ([]byte, int) {
+	t.Helper()
+	var feats []geom.Feature
+	for i := 0; i < 10; i++ {
+		base := testFeatures()
+		for j := range base {
+			base[j].ID += int64(i * len(base))
+			feats = append(feats, base[j])
+		}
+	}
+	return buildDoc(t, feats), len(feats)
+}
+
+// TestProcessBlockPATAllocBudget locks in the block parser's allocation
+// discipline: a pooled machine plus recycled builder buffers leave only
+// the escaping feature data (geometry slices, property maps, the result
+// slice) — a small constant number of allocations per feature.
+func TestProcessBlockPATAllocBudget(t *testing.T) {
+	doc, n := allocDoc(t)
+	cfg := &Config{}
+	bounds := FindFeatureBoundaries(doc, 1)
+	if len(bounds) == 0 {
+		t.Fatal("no boundaries")
+	}
+	start := bounds[0]
+	// Warm the machine pool so the steady state is measured.
+	ProcessBlockPAT(doc, start, int64(len(doc)), cfg)
+
+	var got int
+	allocs := testing.AllocsPerRun(20, func() {
+		r := ProcessBlockPAT(doc, start, int64(len(doc)), cfg)
+		got = len(r.Features)
+	})
+	if got != n {
+		t.Fatalf("features = %d, want %d", got, n)
+	}
+	perFeature := allocs / float64(n)
+	if perFeature > 8 {
+		t.Errorf("ProcessBlockPAT allocates %.1f/op = %.2f per feature, budget 8", allocs, perFeature)
+	}
+}
+
+// TestProcessBlockFATAllocBudget bounds speculative block processing:
+// three lexer variants plus spec tapes cost more than PAT, but the
+// budget still catches a return to per-token garbage.
+func TestProcessBlockFATAllocBudget(t *testing.T) {
+	doc, n := allocDoc(t)
+	cfg := &Config{}
+	ProcessBlockFAT(doc, 0, int64(len(doc)), cfg)
+
+	var got int
+	allocs := testing.AllocsPerRun(20, func() {
+		r := ProcessBlockFAT(doc, 0, int64(len(doc)), cfg)
+		for _, v := range r.Variants {
+			if len(v.M.Features()) > got {
+				got = len(v.M.Features())
+			}
+		}
+	})
+	if got != n {
+		t.Fatalf("features = %d, want %d", got, n)
+	}
+	perFeature := allocs / float64(n)
+	if perFeature > 24 {
+		t.Errorf("ProcessBlockFAT allocates %.1f/op = %.2f per feature, budget 24", allocs, perFeature)
+	}
+}

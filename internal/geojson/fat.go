@@ -1,6 +1,7 @@
 package geojson
 
 import (
+	"bytes"
 	"fmt"
 
 	"atgis/internal/at"
@@ -30,9 +31,12 @@ type BlockResult struct {
 
 // ProcessBlockFAT runs the full fully-associative pipeline over one block
 // of input: speculative lexing from every start state, then extraction
-// per surviving lexer variant.
+// per surviving lexer variant. Lexer token buffers are pooled and reused
+// across blocks; the machines (whose spec tapes and buffered features
+// travel to the ordered merge) are per-block.
 func ProcessBlockFAT(input []byte, start, end int64, cfg *Config) BlockResult {
-	lexVariants := lexer.LexJSONSpeculative(input[start:end], start)
+	spec := lexer.AcquireSpeculator()
+	lexVariants := spec.Lex(input[start:end], start)
 	out := BlockResult{Start: start, End: end, Variants: make([]BlockVariant, 0, len(lexVariants))}
 	for _, lv := range lexVariants {
 		m := NewSpeculativeMachine(input, cfg, start)
@@ -44,12 +48,15 @@ func ProcessBlockFAT(input []byte, start, end int64, cfg *Config) BlockResult {
 		for _, tok := range lv.Tokens {
 			m.OnToken(tok)
 		}
+		starts := make([]at.State, len(lv.Starts))
+		copy(starts, lv.Starts)
 		out.Variants = append(out.Variants, BlockVariant{
-			LexStarts: lv.Starts,
+			LexStarts: starts,
 			LexEnd:    lv.End,
 			M:         m,
 		})
 	}
+	lexer.ReleaseSpeculator(spec)
 	return out
 }
 
@@ -153,7 +160,7 @@ func (fd *Fold) Add(br BlockResult) {
 func (fd *Fold) validate(v BlockVariant) bool {
 	shadow := make([]shadowFrame, 0, len(fd.m.frames)+8)
 	for _, f := range fd.m.frames {
-		shadow = append(shadow, shadowFrame{f.isArr, f.sem, f.resolved, f.expectKey, f.key})
+		shadow = append(shadow, shadowFrame{f.isArr, f.sem, f.resolved, f.expectKey, fd.m.key(&f)})
 	}
 	rootResolved := fd.m.resolved
 	top := func() *shadowFrame {
@@ -192,7 +199,7 @@ func (fd *Fold) validate(v BlockVariant) bool {
 			} else if t.resolved {
 				resolved = true
 				s = classifySem(t.sem, t.key, isArr)
-				t.key = ""
+				t.key = nil
 			}
 			shadow = append(shadow, shadowFrame{isArr: isArr, sem: s, resolved: resolved, expectKey: !isArr})
 		case lexer.KindObjClose, lexer.KindArrClose:
@@ -211,7 +218,13 @@ func (fd *Fold) validate(v BlockVariant) bool {
 			strBegin = ev.Tok.Off
 		case lexer.KindStrEnd:
 			if t := top(); t != nil && !t.isArr && t.expectKey && strBegin >= 0 {
-				t.key = unescape(fd.input[strBegin+1 : ev.Tok.Off])
+				t.key = fd.input[strBegin+1 : ev.Tok.Off]
+				if bytes.IndexByte(t.key, '\\') >= 0 {
+					// Decode escapes exactly as Machine.key does, or the
+					// shadow classifies escaped keywords differently and
+					// forces a spurious sequential reprocess.
+					t.key = []byte(unescape(t.key))
+				}
 			}
 			strBegin = -1
 		}
@@ -236,7 +249,7 @@ type shadowFrame struct {
 	sem       sem
 	resolved  bool
 	expectKey bool
-	key       string
+	key       []byte // raw span into the shared input
 }
 
 // reprocess re-parses a block sequentially with full context after a

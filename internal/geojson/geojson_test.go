@@ -438,3 +438,62 @@ func TestMalformedInput(t *testing.T) {
 		t.Error("truncated document should fail Finish")
 	}
 }
+
+// TestEscapedKeysStillClassify guards the raw-key-span optimisation:
+// keys spelled with JSON escapes must still match grammar keywords and
+// property filters after decoding.
+func TestEscapedKeysStillClassify(t *testing.T) {
+	doc := []byte(`{"type":"FeatureCollection","features":[` +
+		`{"type":"Feature","properties":{"a\\b":"v"},` +
+		`"geometry":{"type":"LineString","coordinates":[[1,2],[3,4]]}}]}`)
+	// Note: \u escapes are preserved raw by unescape (dataset-filter
+	// convention), so the geometry "type" key above uses the Go-level
+	// escape, i.e. the document contains the literal bytes t, y, p, e.
+	cfg := &Config{PropKeys: []string{`a\b`}}
+	out := parseAll(t, doc, cfg)
+	if len(out) != 1 {
+		t.Fatalf("features = %d, want 1", len(out))
+	}
+	if got := out[0].Feature.Properties[`a\b`]; got != "v" {
+		t.Errorf("escaped property key: got %q props %v", got, out[0].Feature.Properties)
+	}
+	ls, ok := out[0].Feature.Geom.(geom.LineString)
+	if !ok || len(ls) != 2 {
+		t.Fatalf("geometry = %#v", out[0].Feature.Geom)
+	}
+}
+
+// TestOverflowingCoordinateKeepsArity: a syntactically valid but
+// overflowing number must parse to ±Inf rather than vanish, so
+// coordinate pairs stay paired (the seed behavior).
+func TestOverflowingCoordinateKeepsArity(t *testing.T) {
+	doc := []byte(`{"type":"FeatureCollection","features":[` +
+		`{"type":"Feature","properties":{},` +
+		`"geometry":{"type":"LineString","coordinates":[[1e400,2],[3,4]]}}]}`)
+	out := parseAll(t, doc, &Config{})
+	if len(out) != 1 {
+		t.Fatalf("features = %d, want 1", len(out))
+	}
+	ls, ok := out[0].Feature.Geom.(geom.LineString)
+	if !ok || len(ls) != 2 {
+		t.Fatalf("geometry = %#v", out[0].Feature.Geom)
+	}
+	if !math.IsInf(ls[0].X, 1) || ls[0].Y != 2 {
+		t.Errorf("first point = %+v, want (+Inf, 2)", ls[0])
+	}
+}
+
+// TestStaleKeyConsumedOnBadNumber: a malformed numeric value must still
+// consume its pending key, or a later keyless number inherits it.
+func TestStaleKeyConsumedOnBadNumber(t *testing.T) {
+	doc := []byte(`{"type":"FeatureCollection","features":[` +
+		`{"type":"Feature","id": - , 5,"properties":{},` +
+		`"geometry":{"type":"Point","coordinates":[1,2]}}]}`)
+	out := parseAll(t, doc, &Config{})
+	if len(out) != 1 {
+		t.Fatalf("features = %d, want 1", len(out))
+	}
+	if out[0].Feature.ID != 0 {
+		t.Errorf("stray number bound to stale id key: id = %d, want 0", out[0].Feature.ID)
+	}
+}

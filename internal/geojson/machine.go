@@ -13,13 +13,23 @@
 //     objects anchor on their "type":"Feature" member (the paper's
 //     format-structure speculation reduction), and deferred events are
 //     resolved during the ordered merge.
+//
+// The machine is built for a zero-allocation steady state: frames live
+// by value in a reused stack, coordinate levels and feature/geometry
+// builders recycle through per-machine free lists, member keys are byte
+// spans into the shared input, and property strings only materialise
+// when a feature is emitted. The only per-feature allocations left are
+// the exact-size geometry slices that escape into the result.
 package geojson
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 
 	"atgis/internal/geom"
 	"atgis/internal/lexer"
+	"atgis/internal/numparse"
 )
 
 // sem labels the semantic role of a frame in the GeoJSON grammar.
@@ -60,9 +70,42 @@ func (s sem) String() string {
 	}
 }
 
+// geoKind is the parsed geometry type tag (replacing per-geometry type
+// strings on the hot path).
+type geoKind uint8
+
+const (
+	kindUnknown geoKind = iota
+	kindPoint
+	kindLineString
+	kindPolygon
+	kindMultiPolygon
+	kindCollection
+	kindOther // recognised type member, not one of the above
+)
+
+// geoKindOf classifies a raw "type" value without allocating.
+func geoKindOf(b []byte) geoKind {
+	switch string(b) {
+	case "Point":
+		return kindPoint
+	case "LineString":
+		return kindLineString
+	case "Polygon":
+		return kindPolygon
+	case "MultiPolygon":
+		return kindMultiPolygon
+	case "GeometryCollection":
+		return kindCollection
+	default:
+		return kindOther
+	}
+}
+
 // coordLevel accumulates one nesting level of a coordinates array.
+// Leaf levels (single positions) never reach a coordLevel: their two
+// numbers accumulate inline in the frame.
 type coordLevel struct {
-	nums  []float64
 	pts   []geom.Point
 	rings []geom.Ring
 	polys []geom.Polygon
@@ -70,47 +113,20 @@ type coordLevel struct {
 
 // geoBuild assembles one geometry object.
 type geoBuild struct {
-	typ      string
-	root     *coordLevel // result of the closed coordinates root
-	children []geom.Geometry
+	kind geoKind
+	root *coordLevel // result of the closed coordinates root (nil for points)
+	// rootX/rootY/rootN carry a bare-position coordinates root.
+	rootX, rootY float64
+	rootN        uint8
+	children     []geom.Geometry
 }
 
-// build converts the accumulated coordinate tree into a Geometry.
-func (g *geoBuild) build() geom.Geometry {
-	if g == nil {
-		return nil
-	}
-	if g.typ == "GeometryCollection" || len(g.children) > 0 {
-		return geom.Collection(g.children)
-	}
-	r := g.root
-	if r == nil {
-		return nil
-	}
-	switch g.typ {
-	case "Point":
-		if len(r.nums) >= 2 {
-			return geom.PointGeom{P: geom.Point{X: r.nums[0], Y: r.nums[1]}}
-		}
-	case "LineString":
-		return geom.LineString(r.pts)
-	case "Polygon":
-		return geom.Polygon(r.rings)
-	case "MultiPolygon":
-		return geom.MultiPolygon(r.polys)
-	}
-	// Untyped or unknown: infer from the deepest populated level.
-	switch {
-	case len(r.polys) > 0:
-		return geom.MultiPolygon(r.polys)
-	case len(r.rings) > 0:
-		return geom.Polygon(r.rings)
-	case len(r.pts) > 0:
-		return geom.LineString(r.pts)
-	case len(r.nums) >= 2:
-		return geom.PointGeom{P: geom.Point{X: r.nums[0], Y: r.nums[1]}}
-	}
-	return nil
+// propSpan records one captured property as raw byte spans into the
+// shared input; strings materialise only when the feature is emitted.
+type propSpan struct {
+	keyOff, valOff int64
+	keyLen, valLen int32
+	isStr          bool // quoted string value (unescape); else raw primitive text
 }
 
 // featBuild assembles one feature.
@@ -118,24 +134,31 @@ type featBuild struct {
 	id      int64
 	hasID   bool
 	openOff int64
-	props   map[string]string
+	props   []propSpan
 	geo     *geoBuild
 }
 
-// frame is one open JSON container.
+// frame is one open JSON container, stored by value on the machine's
+// reused frame stack.
 type frame struct {
 	isArr     bool
-	sem       sem
 	resolved  bool
 	expectKey bool
-	key       string // pending member key (consumed by the next value)
-	openOff   int64
+	hasKey    bool
+	sem       sem
+	numCount  uint8 // inline position accumulator (semCoord leaves)
+	// keyOff/keyLen span the pending member key's raw content in the
+	// shared input (consumed by the next value).
+	keyOff  int64
+	keyLen  int32
+	openOff int64
 	// speculative-mode bookkeeping for anchoring:
-	specStart    int   // index into spec of this frame's open token
-	gapAtOpen    int64 // machine gapStart when the frame opened
-	featureCount int   // features emitted while this frame was innermost
+	specStart int   // index into spec of this frame's open token
+	gapAtOpen int64 // machine gapStart when the frame opened
+	// numX/numY hold the first two numbers of a leaf position.
+	numX, numY float64
 
-	coord         *coordLevel // semCoord
+	coord         *coordLevel // semCoord (lazily allocated for non-leaf levels)
 	geo           *geoBuild   // semGeometry / semRootObj
 	feat          *featBuild  // semFeature / semRootObj
 	geoParentList *geoBuild   // collection to receive this geometry on close
@@ -168,9 +191,9 @@ type Config struct {
 	Eval func(*geom.Feature) any
 }
 
-func (c *Config) wantsProp(key string) bool {
+func (c *Config) wantsProp(key []byte) bool {
 	for _, k := range c.PropKeys {
-		if k == key {
+		if string(key) == k {
 			return true
 		}
 	}
@@ -183,7 +206,7 @@ type Machine struct {
 	cfg      *Config
 	resolved bool
 
-	frames   []*frame
+	frames   []frame
 	gapStart int64
 	strOpen  int64 // offset of the unmatched StrBegin quote, -1 if none
 
@@ -192,6 +215,13 @@ type Machine struct {
 	onFeature  func(FeatureOut) // resolved mode emission
 	tokenCount int
 	err        error
+
+	// free lists recycling builder state across features within (and,
+	// for pooled machines, across) blocks.
+	lvlFree  []*coordLevel
+	geoFree  []*geoBuild
+	featFree []*featBuild
+	tailBuf  []Event // anchor-replay scratch
 
 	// anchorPending requests an anchor replay after the current token.
 	anchorPending bool
@@ -207,14 +237,96 @@ type Machine struct {
 // NewResolvedMachine returns a machine parsing from the document root
 // with full context (sequential oracle, PAT blocks, merge replay).
 func NewResolvedMachine(input []byte, cfg *Config, onFeature func(FeatureOut)) *Machine {
-	m := &Machine{input: input, cfg: cfg, resolved: true, strOpen: -1, onFeature: onFeature}
-	return m
+	return &Machine{input: input, cfg: cfg, resolved: true, strOpen: -1, onFeature: onFeature}
 }
 
 // NewSpeculativeMachine returns a machine for a FAT block whose base
 // context is unknown.
 func NewSpeculativeMachine(input []byte, cfg *Config, gapStart int64) *Machine {
 	return &Machine{input: input, cfg: cfg, strOpen: -1, gapStart: gapStart}
+}
+
+// machinePool recycles machines (frame stacks and free lists included)
+// across PAT blocks; one machine is checked out per block in flight.
+var machinePool = sync.Pool{New: func() any { return new(Machine) }}
+
+// acquireMachine checks a pooled machine out and resets it for a new
+// resolved parse.
+func acquireMachine(input []byte, cfg *Config, onFeature func(FeatureOut)) *Machine {
+	m := machinePool.Get().(*Machine)
+	m.input, m.cfg, m.onFeature = input, cfg, onFeature
+	m.resolved = true
+	m.frames = m.frames[:0]
+	m.gapStart = 0
+	m.strOpen = -1
+	m.spec = m.spec[:0]
+	m.features = nil
+	m.tokenCount = 0
+	m.err = nil
+	m.anchorPending, m.forceFeature, m.patBase = false, false, false
+	return m
+}
+
+// releaseMachine returns a machine to the pool. Builder state reachable
+// from still-open frames is dropped (the frames were truncated), but
+// the free lists and stack backing survive for the next block.
+func releaseMachine(m *Machine) {
+	m.input, m.cfg, m.onFeature = nil, nil, nil
+	machinePool.Put(m)
+}
+
+// Free-list helpers.
+
+func (m *Machine) newLvl() *coordLevel {
+	if n := len(m.lvlFree); n > 0 {
+		l := m.lvlFree[n-1]
+		m.lvlFree = m.lvlFree[:n-1]
+		return l
+	}
+	return &coordLevel{}
+}
+
+func (m *Machine) releaseLvl(l *coordLevel) {
+	l.pts = l.pts[:0]
+	l.rings = l.rings[:0]
+	l.polys = l.polys[:0]
+	m.lvlFree = append(m.lvlFree, l)
+}
+
+func (m *Machine) newGeo() *geoBuild {
+	if n := len(m.geoFree); n > 0 {
+		g := m.geoFree[n-1]
+		m.geoFree = m.geoFree[:n-1]
+		return g
+	}
+	return &geoBuild{}
+}
+
+func (m *Machine) releaseGeo(g *geoBuild) {
+	if g.root != nil {
+		m.releaseLvl(g.root)
+	}
+	*g = geoBuild{children: g.children[:0]}
+	m.geoFree = append(m.geoFree, g)
+}
+
+func (m *Machine) newFeat(openOff int64) *featBuild {
+	if n := len(m.featFree); n > 0 {
+		fb := m.featFree[n-1]
+		m.featFree = m.featFree[:n-1]
+		fb.id, fb.hasID, fb.openOff, fb.geo = 0, false, openOff, nil
+		fb.props = fb.props[:0]
+		return fb
+	}
+	return &featBuild{openOff: openOff}
+}
+
+func (m *Machine) releaseFeat(fb *featBuild) {
+	if fb.geo != nil {
+		m.releaseGeo(fb.geo)
+		fb.geo = nil
+	}
+	m.featFree = append(m.featFree, fb)
 }
 
 // Err returns the first structural error encountered.
@@ -237,7 +349,28 @@ func (m *Machine) top() *frame {
 	if len(m.frames) == 0 {
 		return nil
 	}
-	return m.frames[len(m.frames)-1]
+	return &m.frames[len(m.frames)-1]
+}
+
+// key returns the pending member key bytes of f, or nil when no key is
+// pending. The common case returns the raw span between the quotes;
+// keys containing escapes (rare) are unescaped so grammar keywords and
+// property filters match their decoded spelling.
+func (m *Machine) key(f *frame) []byte {
+	if !f.hasKey {
+		return nil
+	}
+	raw := m.input[f.keyOff : f.keyOff+int64(f.keyLen)]
+	if bytes.IndexByte(raw, '\\') >= 0 {
+		return []byte(unescape(raw))
+	}
+	return raw
+}
+
+func (f *frame) setKey(begin, end int64) {
+	f.keyOff = begin + 1
+	f.keyLen = int32(end - begin - 1)
+	f.hasKey = true
 }
 
 // inResolved reports whether the innermost context is resolved.
@@ -255,8 +388,12 @@ func (m *Machine) OnToken(tok lexer.Token) {
 		return
 	}
 	m.tokenCount++
+	// The innermost frame before this token mutates anything: shared by
+	// the gap parse and the per-kind handling below (top() per token is
+	// measurable on the hot path).
+	t := m.top()
 	if m.strOpen < 0 {
-		m.processGap(m.gapStart, tok.Off)
+		m.processGap(t, m.gapStart, tok.Off)
 	}
 	switch tok.Kind {
 	case lexer.KindObjOpen:
@@ -266,20 +403,20 @@ func (m *Machine) OnToken(tok lexer.Token) {
 	case lexer.KindObjClose, lexer.KindArrClose:
 		m.closeFrame(tok)
 	case lexer.KindComma:
-		m.record(tok)
-		if t := m.top(); t != nil && !t.isArr {
+		m.record(t, tok)
+		if t != nil && !t.isArr {
 			t.expectKey = true
 		}
 	case lexer.KindColon:
-		m.record(tok)
-		if t := m.top(); t != nil && !t.isArr {
+		m.record(t, tok)
+		if t != nil && !t.isArr {
 			t.expectKey = false
 		}
 	case lexer.KindStrBegin:
-		m.record(tok)
+		m.record(t, tok)
 		m.strOpen = tok.Off
 	case lexer.KindStrEnd:
-		m.record(tok)
+		m.record(t, tok)
 		m.onString(m.strOpen, tok.Off)
 		m.strOpen = -1
 	}
@@ -290,38 +427,46 @@ func (m *Machine) OnToken(tok lexer.Token) {
 	}
 }
 
-// record appends the token to the spec tape when the context is
-// unresolved.
-func (m *Machine) record(tok lexer.Token) {
-	if !m.inResolved() && !m.forceFeature {
+// record appends the token to the spec tape when the context (t, the
+// innermost frame before the token) is unresolved.
+func (m *Machine) record(t *frame, tok lexer.Token) {
+	resolved := m.resolved
+	if t != nil {
+		resolved = t.resolved
+	}
+	if !resolved && !m.forceFeature {
 		m.spec = append(m.spec, Event{Tok: tok, FeatIdx: -1})
 	}
 }
 
 func (m *Machine) openFrame(isArr bool, tok lexer.Token) {
-	m.record(tok)
-	parent := m.top()
-	f := &frame{
+	m.record(m.top(), tok)
+	m.frames = append(m.frames, frame{
 		isArr:     isArr,
 		openOff:   tok.Off,
 		expectKey: !isArr,
 		specStart: len(m.spec) - 1,
 		gapAtOpen: tok.Off, // gap before the open was already processed
+	})
+	n := len(m.frames)
+	f := &m.frames[n-1]
+	var parent *frame
+	if n >= 2 {
+		parent = &m.frames[n-2]
 	}
 	m.deriveSem(f, parent)
-	m.frames = append(m.frames, f)
 }
 
 // deriveSem assigns the semantic role of a new frame from its parent
 // context and the pending member key.
-func (m *Machine) deriveSem(f *frame, parent *frame) {
+func (m *Machine) deriveSem(f, parent *frame) {
 	if m.forceFeature && !f.isArr {
 		// Anchor replay: this frame is the feature whose "type" member
 		// identified it, regardless of the (unknown) parent context.
 		m.forceFeature = false
 		f.resolved = true
 		f.sem = semFeature
-		f.feat = &featBuild{openOff: f.openOff}
+		f.feat = m.newFeat(f.openOff)
 		return
 	}
 	if parent == nil {
@@ -334,7 +479,7 @@ func (m *Machine) deriveSem(f *frame, parent *frame) {
 				f.sem = semIgnore
 			} else {
 				f.sem = semFeature
-				f.feat = &featBuild{openOff: f.openOff}
+				f.feat = m.newFeat(f.openOff)
 			}
 		case m.resolved:
 			// Document root.
@@ -343,7 +488,7 @@ func (m *Machine) deriveSem(f *frame, parent *frame) {
 				f.sem = semFeatures // bare array of features
 			} else {
 				f.sem = semRootObj
-				f.feat = &featBuild{openOff: f.openOff}
+				f.feat = m.newFeat(f.openOff)
 			}
 		default:
 			f.sem = semUnresolved
@@ -355,56 +500,51 @@ func (m *Machine) deriveSem(f *frame, parent *frame) {
 		return
 	}
 	f.resolved = true
-	key := parent.key
-	parent.key = ""
+	key := m.key(parent)
+	parent.hasKey = false
 	f.sem = classifySem(parent.sem, key, f.isArr)
 	// Wire assembly state according to the assigned role.
 	switch f.sem {
 	case semGeometry:
 		if parent.sem == semGeomList {
-			f.geo = &geoBuild{}
+			f.geo = m.newGeo()
 			f.feat = parent.feat // may be nil for nested collections
 			f.geoParentList = parent.geo
 		} else {
-			f.geo = &geoBuild{}
+			f.geo = m.newGeo()
 			parent.feat.geo = f.geo
 		}
 	case semGeomList:
 		if parent.sem == semRootObj && parent.geo == nil {
-			parent.geo = &geoBuild{typ: "GeometryCollection"}
+			parent.geo = m.newGeo()
+			parent.geo.kind = kindCollection
 			parent.feat.geo = parent.geo
 		} else if parent.sem == semGeometry {
-			parent.geo.typ = "GeometryCollection"
+			parent.geo.kind = kindCollection
 		}
 		f.geo = parent.geo
 	case semCoord:
 		if parent.sem == semRootObj && parent.geo == nil {
-			parent.geo = &geoBuild{}
+			parent.geo = m.newGeo()
 			parent.feat.geo = parent.geo
 		}
-		f.coord = &coordLevel{}
-		if parent.sem == semCoord {
-			f.geo = parent.geo
-		} else {
-			f.geo = parent.geo
-		}
+		// Coordinate levels allocate lazily: leaf positions accumulate
+		// inline in the frame and never need a coordLevel.
+		f.geo = parent.geo
 	case semProps:
-		if parent.feat != nil && parent.feat.props == nil && len(m.cfg.PropKeys) > 0 {
-			parent.feat.props = make(map[string]string)
-		}
 		f.feat = parent.feat
 	case semFeature:
-		f.feat = &featBuild{openOff: f.openOff}
+		f.feat = m.newFeat(f.openOff)
 	}
 }
 
 // classifySem is the pure GeoJSON-grammar classifier shared by the
 // machine and the fold's structural shadow: the semantic role of a frame
 // opened under (parentSem, key).
-func classifySem(parentSem sem, key string, isArr bool) sem {
+func classifySem(parentSem sem, key []byte, isArr bool) sem {
 	switch parentSem {
 	case semRootObj:
-		switch key {
+		switch string(key) {
 		case "features":
 			return semFeatures
 		case "geometry":
@@ -423,7 +563,7 @@ func classifySem(parentSem sem, key string, isArr bool) sem {
 		}
 		return semIgnore
 	case semFeature:
-		switch key {
+		switch string(key) {
 		case "geometry":
 			return semGeometry
 		case "properties":
@@ -431,7 +571,7 @@ func classifySem(parentSem sem, key string, isArr bool) sem {
 		}
 		return semIgnore
 	case semGeometry:
-		switch key {
+		switch string(key) {
 		case "coordinates":
 			return semCoord
 		case "geometries":
@@ -453,9 +593,8 @@ func classifySem(parentSem sem, key string, isArr bool) sem {
 }
 
 func (m *Machine) closeFrame(tok lexer.Token) {
-	m.record(tok)
-	f := m.top()
-	if f == nil {
+	m.record(m.top(), tok)
+	if len(m.frames) == 0 {
 		if m.resolved && !m.patBase {
 			m.fail("unmatched close at offset %d", tok.Off)
 		}
@@ -463,6 +602,10 @@ func (m *Machine) closeFrame(tok lexer.Token) {
 		// document tail of a PAT block: nothing to do.
 		return
 	}
+	// Point at the top slot and truncate. The dead slot stays valid for
+	// the rest of this call: nothing below pushes onto m.frames, so no
+	// append can overwrite it (avoids copying the ~100-byte frame).
+	f := &m.frames[len(m.frames)-1]
 	if f.isArr != (tok.Kind == lexer.KindArrClose) {
 		m.fail("mismatched close at offset %d", tok.Off)
 		return
@@ -476,41 +619,131 @@ func (m *Machine) closeFrame(tok lexer.Token) {
 		m.closeCoord(f)
 	case semGeometry:
 		if f.geoParentList != nil {
-			f.geoParentList.children = append(f.geoParentList.children, f.geo.build())
+			f.geoParentList.children = append(f.geoParentList.children, m.buildGeo(f.geo))
+			m.releaseGeo(f.geo)
 		}
 	case semFeature:
 		m.emitFeature(f.feat, tok.Off)
 	case semRootObj:
 		if f.feat != nil && (f.feat.geo != nil || f.feat.hasID) {
 			m.emitFeature(f.feat, tok.Off)
+		} else if f.feat != nil {
+			m.releaseFeat(f.feat)
 		}
 	}
 }
 
-// closeCoord folds a finished coordinate level into its parent.
+// coordOf returns parent's coordinate accumulator, allocating it on
+// first use.
+func (m *Machine) coordOf(parent *frame) *coordLevel {
+	if parent.coord == nil {
+		parent.coord = m.newLvl()
+	}
+	return parent.coord
+}
+
+// closeCoord folds a finished coordinate level into its parent. Escaping
+// slices (rings, polygons) are exact-size copies so the accumulation
+// buffers recycle through the machine's free list.
 func (m *Machine) closeCoord(f *frame) {
 	parent := m.top()
-	lvl := f.coord
-	var into *coordLevel
-	if parent != nil && parent.sem == semCoord && parent.resolved {
-		into = parent.coord
-	}
-	if into == nil {
+	if parent == nil || parent.sem != semCoord || !parent.resolved {
 		// Coordinates root closed.
-		f.geo.root = lvl
+		f.geo.root = f.coord
+		f.geo.rootX, f.geo.rootY, f.geo.rootN = f.numX, f.numY, f.numCount
 		return
 	}
+	if f.numCount >= 2 {
+		// Leaf position: fold inline numbers into the parent's points.
+		into := m.coordOf(parent)
+		into.pts = append(into.pts, geom.Point{X: f.numX, Y: f.numY})
+		if f.coord != nil {
+			m.releaseLvl(f.coord)
+		}
+		return
+	}
+	lvl := f.coord
+	if lvl == nil {
+		return // empty array
+	}
 	switch {
-	case len(lvl.nums) >= 2:
-		into.pts = append(into.pts, geom.Point{X: lvl.nums[0], Y: lvl.nums[1]})
 	case len(lvl.pts) > 0:
-		into.rings = append(into.rings, geom.Ring(lvl.pts))
+		ring := make(geom.Ring, len(lvl.pts))
+		copy(ring, lvl.pts)
+		into := m.coordOf(parent)
+		into.rings = append(into.rings, ring)
 	case len(lvl.rings) > 0:
-		into.polys = append(into.polys, geom.Polygon(lvl.rings))
+		poly := make(geom.Polygon, len(lvl.rings))
+		copy(poly, lvl.rings)
+		into := m.coordOf(parent)
+		into.polys = append(into.polys, poly)
 	case len(lvl.polys) > 0:
 		// Deeper nesting than MultiPolygon: flatten.
+		into := m.coordOf(parent)
 		into.polys = append(into.polys, lvl.polys...)
 	}
+	m.releaseLvl(lvl)
+}
+
+// buildGeo converts the accumulated coordinate tree into a Geometry.
+// All returned slices are exact-size copies owned by the geometry, so
+// the builder's buffers stay recyclable.
+func (m *Machine) buildGeo(g *geoBuild) geom.Geometry {
+	if g == nil {
+		return nil
+	}
+	if g.kind == kindCollection || len(g.children) > 0 {
+		children := make([]geom.Geometry, len(g.children))
+		copy(children, g.children)
+		return geom.Collection(children)
+	}
+	r := g.root
+	switch g.kind {
+	case kindPoint:
+		if g.rootN >= 2 {
+			return geom.PointGeom{P: geom.Point{X: g.rootX, Y: g.rootY}}
+		}
+		return nil
+	case kindLineString:
+		if r == nil {
+			return geom.LineString(nil)
+		}
+		ls := make(geom.LineString, len(r.pts))
+		copy(ls, r.pts)
+		return ls
+	case kindPolygon:
+		if r == nil {
+			return geom.Polygon(nil)
+		}
+		poly := make(geom.Polygon, len(r.rings))
+		copy(poly, r.rings)
+		return poly
+	case kindMultiPolygon:
+		if r == nil {
+			return geom.MultiPolygon(nil)
+		}
+		mp := make(geom.MultiPolygon, len(r.polys))
+		copy(mp, r.polys)
+		return mp
+	}
+	// Untyped or unknown: infer from the deepest populated level.
+	switch {
+	case r != nil && len(r.polys) > 0:
+		mp := make(geom.MultiPolygon, len(r.polys))
+		copy(mp, r.polys)
+		return mp
+	case r != nil && len(r.rings) > 0:
+		poly := make(geom.Polygon, len(r.rings))
+		copy(poly, r.rings)
+		return poly
+	case r != nil && len(r.pts) > 0:
+		ls := make(geom.LineString, len(r.pts))
+		copy(ls, r.pts)
+		return ls
+	case g.rootN >= 2:
+		return geom.PointGeom{P: geom.Point{X: g.rootX, Y: g.rootY}}
+	}
+	return nil
 }
 
 func (m *Machine) emitFeature(fb *featBuild, closeOff int64) {
@@ -519,10 +752,11 @@ func (m *Machine) emitFeature(fb *featBuild, closeOff int64) {
 	}
 	out := FeatureOut{Feature: geom.Feature{
 		ID:         fb.id,
-		Geom:       fb.geo.build(),
-		Properties: fb.props,
+		Geom:       m.buildGeo(fb.geo),
+		Properties: m.buildProps(fb),
 		Offset:     fb.openOff,
 	}}
+	m.releaseFeat(fb)
 	if m.cfg.Eval != nil {
 		out.Val = m.cfg.Eval(&out.Feature)
 	}
@@ -535,10 +769,29 @@ func (m *Machine) emitFeature(fb *featBuild, closeOff int64) {
 	idx := int32(len(m.features))
 	m.features = append(m.features, out)
 	m.spec = append(m.spec, Event{
-		Tok:     lexer.Token{Off: fb.openOff},
+		Tok:     lexer.Token{Off: out.Feature.Offset},
 		FeatIdx: idx,
 		EndOff:  closeOff + 1,
 	})
+}
+
+// buildProps materialises the captured property spans into the feature's
+// string map — the one place property strings are allocated.
+func (m *Machine) buildProps(fb *featBuild) map[string]string {
+	if len(fb.props) == 0 {
+		return nil
+	}
+	props := make(map[string]string, len(fb.props))
+	for _, ps := range fb.props {
+		key := unescape(m.input[ps.keyOff : ps.keyOff+int64(ps.keyLen)])
+		val := m.input[ps.valOff : ps.valOff+int64(ps.valLen)]
+		if ps.isStr {
+			props[key] = unescape(val)
+		} else {
+			props[key] = trimSpaceASCII(string(val))
+		}
+	}
+	return props
 }
 
 // onString handles a completed string [begin, end] (quote offsets).
@@ -558,42 +811,45 @@ func (m *Machine) onString(begin, end int64) {
 		// replay always has full context, so this cannot happen.
 		return
 	}
-	val := func() string { return unescape(m.input[begin+1 : end]) }
 	if !f.isArr && f.expectKey {
-		f.key = val()
+		f.setKey(begin, end)
 		return
 	}
-	key := f.key
-	f.key = ""
+	key := m.key(f)
+	f.hasKey = false
+	raw := m.input[begin+1 : end]
 	switch f.sem {
 	case semRootObj, semFeature:
-		switch key {
+		switch string(key) {
 		case "type":
 			// Feature-level type; geometry kind handled in semGeometry.
 			if f.sem == semRootObj && f.feat != nil {
-				t := val()
-				if t != "Feature" && t != "FeatureCollection" {
+				if string(raw) != "Feature" && string(raw) != "FeatureCollection" {
 					// Bare geometry document: remember the kind.
 					if f.geo == nil {
-						f.geo = &geoBuild{}
+						f.geo = m.newGeo()
 						f.feat.geo = f.geo
 					}
-					f.geo.typ = t
+					f.geo.kind = geoKindOf(raw)
 				}
 			}
 		case "id":
 			if fb := f.feat; fb != nil {
-				fb.id = hashID(m.input[begin+1 : end])
+				fb.id = hashID(raw)
 				fb.hasID = true
 			}
 		}
 	case semGeometry:
-		if key == "type" {
-			f.geo.typ = val()
+		if string(key) == "type" {
+			f.geo.kind = geoKindOf(raw)
 		}
 	case semProps:
-		if f.feat != nil && f.feat.props != nil && m.cfg.wantsProp(key) {
-			f.feat.props[key] = val()
+		if f.feat != nil && m.cfg.wantsProp(key) {
+			f.feat.props = append(f.feat.props, propSpan{
+				keyOff: f.keyOff, keyLen: f.keyLen,
+				valOff: begin + 1, valLen: int32(end - begin - 1),
+				isStr: true,
+			})
 		}
 	}
 }
@@ -604,12 +860,12 @@ func (m *Machine) onString(begin, end int64) {
 // the ordered merge validates the assumption).
 func (m *Machine) speculativeStringInObj(f *frame, begin, end int64) {
 	if f.expectKey {
-		f.key = unescape(m.input[begin+1 : end])
+		f.setKey(begin, end)
 		return
 	}
-	key := f.key
-	f.key = ""
-	if key == "type" && string(m.input[begin+1:end]) == "Feature" {
+	key := m.key(f)
+	f.hasKey = false
+	if string(key) == "type" && string(m.input[begin+1:end]) == "Feature" {
 		m.anchorPending = true
 	}
 }
@@ -622,14 +878,14 @@ func (m *Machine) performAnchor(lastOff int64) {
 		return
 	}
 	// Remove the frame and reclaim its spec tail.
+	specStart, gapAtOpen := f.specStart, f.gapAtOpen
 	m.frames = m.frames[:len(m.frames)-1]
-	tail := make([]Event, len(m.spec[f.specStart:]))
-	copy(tail, m.spec[f.specStart:])
-	m.spec = m.spec[:f.specStart]
+	m.tailBuf = append(m.tailBuf[:0], m.spec[specStart:]...)
+	m.spec = m.spec[:specStart]
 	// Replay with the frame forced to a resolved feature.
 	m.forceFeature = true
-	m.gapStart = f.gapAtOpen
-	for _, ev := range tail {
+	m.gapStart = gapAtOpen
+	for _, ev := range m.tailBuf {
 		if ev.FeatIdx >= 0 {
 			// Features cannot nest; no markers can appear in the tail.
 			continue
@@ -643,11 +899,10 @@ func (m *Machine) performAnchor(lastOff int64) {
 // tokens: JSON guarantees at most one number or literal per gap. This is
 // the point-parser SLT of the paper: structural parsing is separated from
 // floating-point handling.
-func (m *Machine) processGap(from, to int64) {
+func (m *Machine) processGap(f *frame, from, to int64) {
 	if from >= to {
 		return
 	}
-	f := m.top()
 	if f == nil || !f.resolved {
 		return
 	}
@@ -659,34 +914,60 @@ func (m *Machine) processGap(from, to int64) {
 	if i == len(b) {
 		return
 	}
-	key := f.key
-	if !f.isArr {
-		f.key = ""
-	}
 	c := b[i]
 	if c == '-' || c == '+' || (c >= '0' && c <= '9') || c == '.' {
 		val, ok := parseFloat(b[i:])
 		if !ok {
+			// Malformed number: still consume the pending key, or the
+			// next keyless value would be attributed to it.
+			if !f.isArr {
+				f.hasKey = false
+			}
 			return
 		}
+		if f.sem == semCoord {
+			// Hot path: coordinate arrays carry no member keys.
+			switch f.numCount {
+			case 0:
+				f.numX = val
+			case 1:
+				f.numY = val
+			}
+			if f.numCount < 255 {
+				f.numCount++
+			}
+			return
+		}
+		key := m.key(f)
+		if !f.isArr {
+			f.hasKey = false
+		}
 		switch f.sem {
-		case semCoord:
-			f.coord.nums = append(f.coord.nums, val)
 		case semFeature, semRootObj:
-			if key == "id" && f.feat != nil {
+			if string(key) == "id" && f.feat != nil {
 				f.feat.id = int64(val)
 				f.feat.hasID = true
 			}
 		case semProps:
-			if f.feat != nil && f.feat.props != nil && m.cfg.wantsProp(key) {
-				f.feat.props[key] = trimSpaceASCII(string(b[i:]))
+			if f.feat != nil && m.cfg.wantsProp(key) {
+				f.feat.props = append(f.feat.props, propSpan{
+					keyOff: f.keyOff, keyLen: f.keyLen,
+					valOff: from + int64(i), valLen: int32(len(b) - i),
+				})
 			}
 		}
 		return
 	}
+	key := m.key(f)
+	if !f.isArr {
+		f.hasKey = false
+	}
 	// Literal (true/false/null): capture for filtered properties only.
-	if f.sem == semProps && f.feat != nil && f.feat.props != nil && m.cfg.wantsProp(key) {
-		f.feat.props[key] = trimSpaceASCII(string(b[i:]))
+	if f.sem == semProps && f.feat != nil && m.cfg.wantsProp(key) {
+		f.feat.props = append(f.feat.props, propSpan{
+			keyOff: f.keyOff, keyLen: f.keyLen,
+			valOff: from + int64(i), valLen: int32(len(b) - i),
+		})
 	}
 }
 
@@ -704,65 +985,10 @@ func trimSpaceASCII(s string) string {
 	return s[start:end]
 }
 
-// parseFloat is a fast decimal float parser covering the number forms the
-// spatial datasets contain (sign, integral, fraction, exponent). It is
-// the hand-optimised counterpart of the "compiled" pipelines in §4.3.
+// parseFloat parses the decimal number at the start of b via the shared
+// fast parser (exact single-rounding fast path, strconv fallback).
 func parseFloat(b []byte) (float64, bool) {
-	i := 0
-	neg := false
-	switch {
-	case i < len(b) && b[i] == '-':
-		neg = true
-		i++
-	case i < len(b) && b[i] == '+':
-		i++
-	}
-	var mant float64
-	digits := 0
-	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
-		mant = mant*10 + float64(b[i]-'0')
-		digits++
-		i++
-	}
-	if i < len(b) && b[i] == '.' {
-		i++
-		frac := 0.1
-		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
-			mant += float64(b[i]-'0') * frac
-			frac /= 10
-			digits++
-			i++
-		}
-	}
-	if digits == 0 {
-		return 0, false
-	}
-	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
-		i++
-		eneg := false
-		if i < len(b) && (b[i] == '-' || b[i] == '+') {
-			eneg = b[i] == '-'
-			i++
-		}
-		exp := 0
-		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
-			exp = exp*10 + int(b[i]-'0')
-			i++
-		}
-		scale := 1.0
-		for j := 0; j < exp; j++ {
-			scale *= 10
-		}
-		if eneg {
-			mant /= scale
-		} else {
-			mant *= scale
-		}
-	}
-	if neg {
-		mant = -mant
-	}
-	return mant, true
+	return numparse.Float(b)
 }
 
 func unescape(b []byte) string {

@@ -36,6 +36,15 @@ func ParseSequential(input []byte, cfg *Config, sink func(FeatureOut)) error {
 // is what Fig. 14 measures.
 func FindFeatureBoundaries(input []byte, minGap int) []int64 {
 	var out []int64
+	FindFeatureBoundariesStream(input, minGap, func(cut int64) { out = append(out, cut) })
+	return out
+}
+
+// FindFeatureBoundariesStream yields feature-boundary cut offsets in
+// increasing order as they are found, the incremental form that lets
+// pipeline.Run dispatch PAT blocks while the boundary scan is still
+// running.
+func FindFeatureBoundariesStream(input []byte, minGap int, yieldCut func(int64)) {
 	pat := []byte(`"type"`)
 	pos := 0
 	next := 0 // earliest position for the next accepted boundary
@@ -47,6 +56,15 @@ func FindFeatureBoundaries(input []byte, minGap int) []int64 {
 		abs := pos + i
 		pos = abs + len(pat)
 		if abs < next {
+			// Every occurrence before next is rejected anyway; jump the
+			// scan straight to the next eligible position instead of
+			// visiting each "type" inside the coalescing window.
+			if next >= len(input) {
+				break
+			}
+			if next > pos {
+				pos = next
+			}
 			continue
 		}
 		// Match: "type" ws* : ws* "Feature"
@@ -72,10 +90,9 @@ func FindFeatureBoundaries(input []byte, minGap int) []int64 {
 		if k < 0 || input[k] != '{' {
 			continue
 		}
-		out = append(out, int64(k))
+		yieldCut(int64(k))
 		next = k + minGap
 	}
-	return out
 }
 
 // PATBlockResult is the outcome of parsing one PAT block in the parallel
@@ -96,7 +113,7 @@ type PATBlockResult struct {
 // boundary.
 func ProcessBlockPAT(input []byte, start, end int64, cfg *Config) PATBlockResult {
 	res := PATBlockResult{Start: start, End: end, IncompleteOff: -1}
-	m := NewResolvedMachine(input, cfg, func(f FeatureOut) {
+	m := acquireMachine(input, cfg, func(f FeatureOut) {
 		res.Features = append(res.Features, f)
 	})
 	m.patBase = true
@@ -105,6 +122,7 @@ func ProcessBlockPAT(input []byte, start, end int64, cfg *Config) PATBlockResult
 		res.IncompleteOff = m.frames[0].openOff
 	}
 	res.Clean = len(m.frames) == 0 && endState == lexer.JSONDefault && m.Err() == nil
+	releaseMachine(m)
 	return res
 }
 

@@ -1,0 +1,81 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"atgis/internal/at"
+)
+
+func allocInput() []byte {
+	one := `{"type":"Feature","properties":{"name":"a\"b","n":1.5},` +
+		`"geometry":{"type":"Polygon","coordinates":[[[0.1,0.2],[3.4,5.6],[0.1,0.2]]]}}`
+	return []byte(`{"type":"FeatureCollection","features":[` +
+		strings.Repeat(one+",", 50) + one + `]}`)
+}
+
+// TestScanJSONEscapeDenseLinear guards the in-string scan's linearity:
+// a large escape-dominated string must lex in one pass (the quadratic
+// form took seconds at this size) and agree with the reference FST.
+func TestScanJSONEscapeDenseLinear(t *testing.T) {
+	body := strings.Repeat(`ab\n\\`, 50000) // 300 KB, escape every few bytes
+	data := []byte(`{"k":"` + body + `"}`)
+
+	start := time.Now()
+	var toks []Token
+	end := ScanJSON(JSONDefault, data, 0, func(tk Token) { toks = append(toks, tk) })
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("escape-dense scan took %v; in-string loop has gone superlinear", d)
+	}
+	if end != JSONDefault {
+		t.Fatalf("end state = %v", end)
+	}
+	frag := at.RunFragment(NewJSONFST(), data, []at.State{JSONDefault}, 0)
+	refEnd, ref, err := frag.Lookup(JSONDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refEnd != end || len(ref) != len(toks) {
+		t.Fatalf("FST disagreement: end %v vs %v, %d vs %d tokens", refEnd, end, len(ref), len(toks))
+	}
+	for i := range ref {
+		if ref[i] != toks[i] {
+			t.Fatalf("token %d: %v vs %v", i, toks[i], ref[i])
+		}
+	}
+}
+
+// TestScanJSONAllocFree locks in the lexer scan's zero-allocation
+// property (the hot path of every pipeline).
+func TestScanJSONAllocFree(t *testing.T) {
+	data := allocInput()
+	n := 0
+	sink := func(Token) { n++ }
+	allocs := testing.AllocsPerRun(100, func() {
+		ScanJSON(JSONDefault, data, 0, sink)
+	})
+	if allocs != 0 {
+		t.Errorf("ScanJSON allocates %.1f per run, want 0", allocs)
+	}
+	if n == 0 {
+		t.Fatal("no tokens emitted")
+	}
+}
+
+// TestSpeculatorLexAllocFree verifies that a warmed Speculator lexes
+// blocks from all start states without allocating.
+func TestSpeculatorLexAllocFree(t *testing.T) {
+	data := allocInput()
+	s := AcquireSpeculator()
+	defer ReleaseSpeculator(s)
+	s.Lex(data, 0) // warm token buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		if v := s.Lex(data, 0); len(v) == 0 {
+			t.Fatal("no variants")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Speculator.Lex allocates %.1f per run, want 0", allocs)
+	}
+}

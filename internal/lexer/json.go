@@ -15,7 +15,12 @@
 // SLT.
 package lexer
 
-import "atgis/internal/at"
+import (
+	"bytes"
+	"sync"
+
+	"atgis/internal/at"
+)
 
 // JSON lexer states.
 const (
@@ -74,43 +79,96 @@ func JSONStartStates() []at.State {
 	return []at.State{JSONDefault, JSONInString, JSONInEscape}
 }
 
+// jsonStructural maps a byte to its structural token kind in the
+// default state (0 = not structural), letting the default-state loop
+// classify with one table load per byte.
+var jsonStructural = [256]Kind{
+	'{': KindObjOpen, '}': KindObjClose,
+	'[': KindArrOpen, ']': KindArrClose,
+	',': KindComma, ':': KindColon,
+	'"': KindStrBegin,
+}
+
 // ScanJSON lexes block starting in state q, emitting structural tokens
 // with offsets relative to baseOff. It returns the finishing state. This
 // is the hand-specialised ("compiled", in the paper's g++ sense) form of
 // the table-driven FST below; both implementations are kept and
 // cross-checked by tests.
+//
+// The default state classifies bytes through a 256-entry table; the
+// in-string state skips payload bytes with bytes.IndexByte (memchr), so
+// long string runs cost a vectorised scan instead of a byte-at-a-time
+// state machine.
 func ScanJSON(q at.State, block []byte, baseOff int64, emit func(Token)) at.State {
-	for i := 0; i < len(block); i++ {
-		b := block[i]
+	n := len(block)
+	i := 0
+	for i < n {
 		switch q {
 		case JSONDefault:
-			switch b {
-			case '{':
-				emit(Token{KindObjOpen, baseOff + int64(i)})
-			case '}':
-				emit(Token{KindObjClose, baseOff + int64(i)})
-			case '[':
-				emit(Token{KindArrOpen, baseOff + int64(i)})
-			case ']':
-				emit(Token{KindArrClose, baseOff + int64(i)})
-			case ',':
-				emit(Token{KindComma, baseOff + int64(i)})
-			case ':':
-				emit(Token{KindColon, baseOff + int64(i)})
-			case '"':
-				emit(Token{KindStrBegin, baseOff + int64(i)})
-				q = JSONInString
+			for i < n {
+				k := jsonStructural[block[i]]
+				if k == 0 {
+					i++
+					continue
+				}
+				emit(Token{k, baseOff + int64(i)})
+				i++
+				if k == KindStrBegin {
+					q = JSONInString
+					break
+				}
 			}
 		case JSONInString:
-			switch b {
-			case '"':
-				emit(Token{KindStrEnd, baseOff + int64(i)})
+			for i < n {
+				j := bytes.IndexByte(block[i:], '"')
+				if j < 0 {
+					// No closing quote in this block: consume the tail,
+					// tracking escape parity for the finishing state.
+					for s := i; ; {
+						e := bytes.IndexByte(block[s:], '\\')
+						if e < 0 {
+							break
+						}
+						if s+e == n-1 {
+							// A trailing backslash leaves the block in
+							// the escape state.
+							q = JSONInEscape
+							break
+						}
+						s += e + 2
+					}
+					i = n
+					break
+				}
+				// Walk the escapes in [i, i+j) without re-finding the
+				// quote (a re-scan per escape is quadratic on
+				// escape-dense strings). Each escape consumes two
+				// bytes; one may consume the candidate quote itself.
+				quote := i + j
+				escaped := false
+				for s := i; ; {
+					e := bytes.IndexByte(block[s:quote], '\\')
+					if e < 0 {
+						break
+					}
+					if s+e+1 == quote {
+						escaped = true
+						break
+					}
+					s += e + 2
+				}
+				if escaped {
+					i = quote + 1 // the quote was \" payload; keep scanning
+					continue
+				}
+				emit(Token{KindStrEnd, baseOff + int64(quote)})
 				q = JSONDefault
-			case '\\':
-				q = JSONInEscape
+				i = quote + 1
+				break
 			}
 		case JSONInEscape:
 			q = JSONInString
+			i++
 		}
 	}
 	return q
@@ -171,28 +229,62 @@ type JSONVariant struct {
 	Tokens []Token
 }
 
-// LexJSONSpeculative lexes a block from every starting state,
-// deduplicating runs that converge to identical token streams.
-func LexJSONSpeculative(block []byte, baseOff int64) []JSONVariant {
-	variants := make([]JSONVariant, 0, 3)
-	for _, start := range JSONStartStates() {
-		var toks []Token
+// Speculator lexes blocks from every starting state while reusing its
+// token and variant buffers across calls, so steady-state speculative
+// lexing allocates nothing. The returned variants (and their token
+// slices) are valid until the next Lex call; callers that need them
+// longer must copy.
+type Speculator struct {
+	toks     [3][]Token
+	starts   [3][]at.State
+	variants []JSONVariant
+}
+
+// Lex lexes block from the full start-state set, deduplicating runs
+// that converge to identical token streams.
+func (s *Speculator) Lex(block []byte, baseOff int64) []JSONVariant {
+	s.variants = s.variants[:0]
+	for si, start := range JSONStartStates() {
+		if s.starts[si] == nil {
+			s.starts[si] = make([]at.State, 0, 3)
+		}
+		toks := s.toks[si][:0]
 		end := ScanJSON(start, block, baseOff, func(t Token) { toks = append(toks, t) })
+		s.toks[si] = toks
 		dup := false
-		for i := range variants {
-			if variants[i].End == end && tokensEqual(variants[i].Tokens, toks) {
-				variants[i].Starts = append(variants[i].Starts, start)
+		for i := range s.variants {
+			if s.variants[i].End == end && tokensEqual(s.variants[i].Tokens, toks) {
+				s.variants[i].Starts = append(s.variants[i].Starts, start)
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			variants = append(variants, JSONVariant{
-				Starts: []at.State{start}, End: end, Tokens: toks,
+			sts := append(s.starts[si][:0], start)
+			s.starts[si] = sts
+			s.variants = append(s.variants, JSONVariant{
+				Starts: sts, End: end, Tokens: toks,
 			})
 		}
 	}
-	return variants
+	return s.variants
+}
+
+var speculatorPool = sync.Pool{New: func() any { return new(Speculator) }}
+
+// AcquireSpeculator returns a pooled Speculator; pair with
+// ReleaseSpeculator once the variants of the last Lex are consumed.
+func AcquireSpeculator() *Speculator { return speculatorPool.Get().(*Speculator) }
+
+// ReleaseSpeculator recycles s and the buffers backing its variants.
+func ReleaseSpeculator(s *Speculator) { speculatorPool.Put(s) }
+
+// LexJSONSpeculative lexes a block from every starting state,
+// deduplicating runs that converge to identical token streams. The
+// result remains valid indefinitely; hot paths should prefer a pooled
+// Speculator, which reuses buffers between blocks.
+func LexJSONSpeculative(block []byte, baseOff int64) []JSONVariant {
+	return new(Speculator).Lex(block, baseOff)
 }
 
 // VariantFor returns the variant valid when the block's true starting

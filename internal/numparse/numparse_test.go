@@ -1,0 +1,194 @@
+package numparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func TestPrefixExactAgainstStrconv(t *testing.T) {
+	cases := []string{
+		"0", "1", "-1", "3.25", "-0.5", "1e3", "1.5e2", "2E-2", "-1.25e+1",
+		"123456.789", "179.99999999", "-89.123456789012345",
+		"0.000001", "1e22", "1e-22", "9007199254740991", "9007199254740993",
+		"1.7976931348623157e308", "5e-324", "+4.5",
+	}
+	for _, c := range cases {
+		want, err := strconv.ParseFloat(c, 64)
+		if err != nil {
+			t.Fatalf("bad case %q: %v", c, err)
+		}
+		got, n, ok := Prefix([]byte(c))
+		if !ok || n != len(c) {
+			t.Fatalf("Prefix(%q) = (%v, %d, %v)", c, got, n, ok)
+		}
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("Prefix(%q) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestPrefixRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		v := (rng.Float64() - 0.5) * 360
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		got, n, ok := Prefix([]byte(s))
+		if !ok || n != len(s) || got != v {
+			t.Fatalf("Prefix(%q) = (%v, %d, %v), want %v", s, got, n, ok, v)
+		}
+	}
+}
+
+// TestEiselLemireDifferential hammers the Eisel–Lemire tier against
+// strconv across the regimes the spatial hot paths produce: shortest
+// round-trip doubles (16–17 digits, past Clinger's window), fixed-point
+// coordinates, large exponents, and >19-digit truncated mantissas.
+func TestEiselLemireDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(s string) {
+		t.Helper()
+		want, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			// Range errors carry strconv's clamped value (±Inf / 0),
+			// which Prefix must preserve so callers keep token arity;
+			// syntax errors must be rejected.
+			if numErr, isNum := err.(*strconv.NumError); isNum && numErr.Err == strconv.ErrRange {
+				got, n, ok := Prefix([]byte(s))
+				if !ok || n != len(s) || got != want {
+					t.Fatalf("Prefix(%q) = (%v, %d, %v), want clamped %v", s, got, n, ok, want)
+				}
+				return
+			}
+			if _, _, ok := Prefix([]byte(s)); ok {
+				t.Fatalf("Prefix accepted %q, strconv rejects it: %v", s, err)
+			}
+			return
+		}
+		got, n, ok := Prefix([]byte(s))
+		if !ok || n != len(s) || got != want {
+			t.Fatalf("Prefix(%q) = (%v, %d, %v), want %v", s, got, n, ok, want)
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		switch i % 4 {
+		case 0: // shortest round-trip of a random bit pattern (finite)
+			v := math.Float64frombits(rng.Uint64())
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			check(strconv.FormatFloat(v, 'g', -1, 64))
+		case 1: // coordinate-shaped decimals
+			check(strconv.FormatFloat((rng.Float64()-0.5)*360, 'g', -1, 64))
+		case 2: // explicit exponent forms
+			check(fmt.Sprintf("%de%d", rng.Uint64(), rng.Intn(600)-300))
+		case 3: // >19 significant digits (truncated-mantissa path)
+			check(fmt.Sprintf("%d%d.%d", rng.Uint64(), rng.Uint64(), rng.Uint64()))
+		}
+	}
+	// Directed edges: half-way points, subnormals, overflow boundaries.
+	for _, s := range []string{
+		"9007199254740993", "9007199254740995", "4503599627370497",
+		"1.7976931348623157e308", "1.7976931348623159e308", "2.2250738585072014e-308",
+		"4.9406564584124654e-324", "2.4703282292062327e-324", "1e309", "1e-325",
+		"0.000000000000000000000000000000000000000000000001",
+		"-0", "0e999", "18446744073709551615", "18446744073709551616",
+		"99999999999999999999999999999999999999",
+	} {
+		check(s)
+	}
+}
+
+func TestPrefixStopsAtGarbage(t *testing.T) {
+	got, n, ok := Prefix([]byte("12.5, 7"))
+	if !ok || got != 12.5 || n != 4 {
+		t.Fatalf("got (%v, %d, %v)", got, n, ok)
+	}
+	if _, _, ok := Prefix([]byte("abc")); ok {
+		t.Error("garbage should fail")
+	}
+	if _, _, ok := Prefix([]byte("")); ok {
+		t.Error("empty should fail")
+	}
+	if _, _, ok := Prefix([]byte("-")); ok {
+		t.Error("bare sign should fail")
+	}
+	// An exponent marker with no digits is not consumed.
+	got, n, ok = Prefix([]byte("2e"))
+	if !ok || got != 2 || n != 1 {
+		t.Fatalf("Prefix(2e) = (%v, %d, %v)", got, n, ok)
+	}
+}
+
+func TestIntOverflowAndExact(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true}, {"42", 42, true}, {"-7", -7, true}, {"+5", 5, true},
+		{"", 0, false}, {"x", 0, false}, {"-", 0, false},
+	} {
+		got, ok := IntExact([]byte(tc.in))
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("IntExact(%q) = (%d, %v), want (%d, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := IntExact([]byte("99999999999999999999")); ok {
+		t.Error("overflowing IntExact should be rejected, not wrapped")
+	}
+	if v, ok := IntExact([]byte("9223372036854775807")); !ok || v != 9223372036854775807 {
+		t.Errorf("MaxInt64 = (%d, %v)", v, ok)
+	}
+	if v, ok := IntExact([]byte("-9223372036854775808")); !ok || v != -9223372036854775808 {
+		t.Errorf("MinInt64 = (%d, %v)", v, ok)
+	}
+	if _, ok := IntExact([]byte("9223372036854775808")); ok {
+		t.Error("MaxInt64+1 should overflow")
+	}
+	if v, ok := IntExact([]byte("42")); !ok || v != 42 {
+		t.Errorf("IntExact(42) = (%d, %v)", v, ok)
+	}
+	for _, s := range []string{"12abc", "12 ", "", "-", "1.5"} {
+		if _, ok := IntExact([]byte(s)); ok {
+			t.Errorf("IntExact(%q) should reject trailing garbage", s)
+		}
+	}
+	if v, ok := FloatExact([]byte("12.5")); !ok || v != 12.5 {
+		t.Errorf("FloatExact(12.5) = (%v, %v)", v, ok)
+	}
+	for _, s := range []string{"12.5abc", "12.5 ", ""} {
+		if _, ok := FloatExact([]byte(s)); ok {
+			t.Errorf("FloatExact(%q) should reject trailing garbage", s)
+		}
+	}
+}
+
+func BenchmarkPrefix(b *testing.B) {
+	var bufs [][]byte
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 64; i++ {
+		bufs = append(bufs, []byte(fmt.Sprintf("%.9f", (rng.Float64()-0.5)*360)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := Prefix(bufs[i%64]); !ok {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func TestFloatExactRange(t *testing.T) {
+	for _, s := range []string{"1e400", "-1e400", "1e-400", "0.0000000001e-350"} {
+		if v, ok := FloatExact([]byte(s)); ok {
+			t.Errorf("FloatExact(%q) = (%v, true), want range rejection", s, v)
+		}
+	}
+	for _, s := range []string{"0", "-0.0", "0e999", "5e-324", "1.5"} {
+		if _, ok := FloatExact([]byte(s)); !ok {
+			t.Errorf("FloatExact(%q) rejected, want accept", s)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"atgis/internal/geom"
+	"atgis/internal/numparse"
 )
 
 // NodeTable maps node ids to positions. It is sharded to allow the
@@ -126,21 +127,23 @@ type attrScanner struct {
 	b []byte
 }
 
-// attr returns the value of the named attribute, or "" if absent.
+// attr returns the value of the named attribute, or nil if absent.
+// The name is matched in place (no pattern materialisation) so the
+// parallel first pass stays allocation-free per attribute.
 func (s attrScanner) attr(name string) []byte {
-	pat := name + `="`
-	for i := 0; i+len(pat) < len(s.b); i++ {
-		if s.b[i] != pat[0] {
+	n := len(name)
+	for i := 0; i+n+2 < len(s.b); i++ {
+		if s.b[i] != name[0] {
 			continue
 		}
-		if string(s.b[i:i+len(pat)]) != pat {
+		if string(s.b[i:i+n]) != name || s.b[i+n] != '=' || s.b[i+n+1] != '"' {
 			continue
 		}
 		// Attribute names are preceded by whitespace.
 		if i > 0 && s.b[i-1] != ' ' && s.b[i-1] != '\t' {
 			continue
 		}
-		start := i + len(pat)
+		start := i + n + 2
 		j := start
 		for j < len(s.b) && s.b[j] != '"' {
 			j++
@@ -155,8 +158,9 @@ func (s attrScanner) attrInt(name string) (int64, bool) {
 	if v == nil {
 		return 0, false
 	}
-	n, err := strconv.ParseInt(string(v), 10, 64)
-	return n, err == nil
+	// Exact parses: a malformed or overflowing attribute must be
+	// rejected (as strconv did), not silently prefix-parsed.
+	return numparse.IntExact(v)
 }
 
 func (s attrScanner) attrFloat(name string) (float64, bool) {
@@ -164,8 +168,27 @@ func (s attrScanner) attrFloat(name string) (float64, bool) {
 	if v == nil {
 		return 0, false
 	}
-	f, err := strconv.ParseFloat(string(v), 64)
-	return f, err == nil
+	return numparse.FloatExact(v)
+}
+
+// internAttr maps the small closed vocabulary of member attributes to
+// shared string constants, avoiding a per-member allocation.
+func internAttr(b []byte) string {
+	switch string(b) {
+	case "":
+		return ""
+	case "way":
+		return "way"
+	case "node":
+		return "node"
+	case "relation":
+		return "relation"
+	case "outer":
+		return "outer"
+	case "inner":
+		return "inner"
+	}
+	return string(b)
 }
 
 // ElementKind classifies a top-level OSM element.
@@ -286,9 +309,9 @@ func ParseBlock(input []byte, start, end int64, h *Handler) error {
 			if rel != nil {
 				ref, _ := sc.attrInt("ref")
 				rel.Members = append(rel.Members, Member{
-					Type: string(sc.attr("type")),
+					Type: internAttr(sc.attr("type")),
 					Ref:  ref,
-					Role: string(sc.attr("role")),
+					Role: internAttr(sc.attr("role")),
 				})
 			}
 		case hasPrefix(line, "<tag"):
@@ -327,10 +350,18 @@ func trimLine(line []byte) []byte {
 // starts (<node, <way, <relation), so multi-line elements never straddle
 // blocks.
 func SplitElements(input []byte, blockSize int) []int64 {
+	var cuts []int64
+	SplitElementsStream(input, blockSize, func(cut int64) { cuts = append(cuts, cut) })
+	return cuts
+}
+
+// SplitElementsStream yields element-boundary cut offsets in increasing
+// order as they are found (the incremental splitting form of
+// SplitElements).
+func SplitElementsStream(input []byte, blockSize int, yieldCut func(int64)) {
 	if blockSize < 1 {
 		blockSize = 1
 	}
-	var cuts []int64
 	for target := blockSize; target < len(input); {
 		// Advance to the next line start at or after target.
 		i := target
@@ -351,10 +382,9 @@ func SplitElements(input []byte, blockSize int) []int64 {
 		if i >= len(input) {
 			break
 		}
-		cuts = append(cuts, int64(i))
+		yieldCut(int64(i))
 		target = i + blockSize
 	}
-	return cuts
 }
 
 // AssembleWay converts a way into a geometry using the node table:

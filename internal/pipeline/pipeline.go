@@ -6,14 +6,16 @@
 // workers, keeping all intermediate state thread-local. The *merge* phase
 // combines the per-block fragments in input order.
 //
-// Splitting and processing overlap; merging starts once results arrive
-// and consumes them in order, exactly as the paper describes (the first
-// two phases run concurrently, the third requires ordered results).
+// All three phases overlap: block descriptors stream from the splitter
+// to the worker pool as boundaries are found, workers publish each
+// result on a per-block ready channel, and the merger consumes results
+// in input order as soon as their predecessors are folded — exactly the
+// concurrent split/process plus ordered merge the paper describes.
 package pipeline
 
 import (
 	"runtime"
-	"sync"
+	"runtime/metrics"
 	"time"
 )
 
@@ -24,18 +26,37 @@ type Block struct {
 }
 
 // Stats reports where a run's time went, matching the phase breakdown
-// the paper measures (split, processing P, merge M).
+// the paper measures (split, processing P, merge M), plus allocation
+// and GC counters so allocation regressions on the hot path are visible.
 type Stats struct {
+	// SplitTime is the time the splitter spent finding boundaries,
+	// excluding backpressure waits on the block queues. It overlaps
+	// ProcessTime (the phases run concurrently), so do not sum phases:
+	// WallTime is the authoritative total.
 	SplitTime   time.Duration
 	ProcessTime time.Duration // wall-clock of the parallel phase
 	MergeTime   time.Duration
+	WallTime    time.Duration // end-to-end duration of the run
 	Blocks      int
 	Bytes       int64
 	Workers     int
+
+	// AllocBytes/AllocObjects/GCCycles are process-wide deltas across
+	// the run (runtime/metrics), a coarse allocation budget for the
+	// whole pipeline including concurrent phases.
+	AllocBytes   uint64
+	AllocObjects uint64
+	GCCycles     uint64
 }
 
-// Total returns the end-to-end duration.
-func (s Stats) Total() time.Duration { return s.SplitTime + s.ProcessTime + s.MergeTime }
+// Total returns the end-to-end duration. Phases overlap, so the wall
+// clock — not the sum of phase times — is the authoritative total.
+func (s Stats) Total() time.Duration {
+	if s.WallTime > 0 {
+		return s.WallTime
+	}
+	return s.SplitTime + s.ProcessTime + s.MergeTime
+}
 
 // ThroughputMBs returns processing throughput in MB/s over the total
 // time, the headline metric of the paper's figures.
@@ -54,11 +75,33 @@ type Splitter interface {
 	Split(input []byte) []int64
 }
 
-// SplitterFunc adapts a function to the Splitter interface.
+// StreamSplitter is the incremental splitting API: cuts are yielded as
+// they are found so processing can start before splitting completes.
+type StreamSplitter interface {
+	Splitter
+	// SplitStream yields cut offsets in increasing order.
+	SplitStream(input []byte, yield func(cut int64))
+}
+
+// SplitterFunc adapts a batch function to the Splitter interface.
 type SplitterFunc func(input []byte) []int64
 
 // Split implements Splitter.
 func (f SplitterFunc) Split(input []byte) []int64 { return f(input) }
+
+// StreamSplitterFunc adapts an incremental cut generator to both
+// splitter interfaces.
+type StreamSplitterFunc func(input []byte, yield func(cut int64))
+
+// SplitStream implements StreamSplitter.
+func (f StreamSplitterFunc) SplitStream(input []byte, yield func(cut int64)) { f(input, yield) }
+
+// Split implements Splitter by collecting the streamed cuts.
+func (f StreamSplitterFunc) Split(input []byte) []int64 {
+	var cuts []int64
+	f(input, func(c int64) { cuts = append(cuts, c) })
+	return cuts
+}
 
 // FixedSplitter cuts the input into fixed-size blocks: the zero-cost
 // split used by fully-associative pipelines.
@@ -66,15 +109,20 @@ type FixedSplitter struct{ BlockSize int }
 
 // Split implements Splitter.
 func (s FixedSplitter) Split(input []byte) []int64 {
+	var cuts []int64
+	s.SplitStream(input, func(c int64) { cuts = append(cuts, c) })
+	return cuts
+}
+
+// SplitStream implements StreamSplitter.
+func (s FixedSplitter) SplitStream(input []byte, yield func(cut int64)) {
 	bs := s.BlockSize
 	if bs < 1 {
 		bs = 1 << 20
 	}
-	var cuts []int64
 	for c := int64(bs); c < int64(len(input)); c += int64(bs) {
-		cuts = append(cuts, c)
+		yield(c)
 	}
-	return cuts
 }
 
 // BlocksFromCuts materialises Block descriptors from cut offsets.
@@ -94,10 +142,37 @@ func BlocksFromCuts(n int64, cuts []int64) []Block {
 	return blocks
 }
 
+// item carries one block through the engine: workers fill r and close
+// ready; the merger waits on ready in input order.
+type item[R any] struct {
+	b     Block
+	r     R
+	ready chan struct{}
+}
+
+var allocMetrics = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/cycles/total:gc-cycles",
+}
+
+func readAllocMetrics(samples []metrics.Sample) (bytes, objects, cycles uint64) {
+	metrics.Read(samples)
+	for i := range samples {
+		if samples[i].Value.Kind() != metrics.KindUint64 {
+			return 0, 0, 0
+		}
+	}
+	return samples[0].Value.Uint64(), samples[1].Value.Uint64(), samples[2].Value.Uint64()
+}
+
 // Run executes process over every block on workers goroutines and folds
-// the results in input order. The fold runs on the caller's goroutine,
-// consuming results as soon as their predecessors are merged — an
-// ordered reduction matching the associative merge of §3.2.
+// the results in input order. Splitting, processing and merging overlap:
+// block descriptors stream from the splitter as cuts are found (see
+// StreamSplitter), each worker publishes its result on the block's ready
+// channel, and the fold — running on the caller's goroutine — consumes
+// results as soon as their predecessors are merged, the ordered
+// associative reduction of §3.2.
 func Run[R any](
 	input []byte,
 	splitter Splitter,
@@ -112,62 +187,92 @@ func Run[R any](
 	st.Workers = workers
 	st.Bytes = int64(len(input))
 
+	samples := make([]metrics.Sample, len(allocMetrics))
+	for i, name := range allocMetrics {
+		samples[i].Name = name
+	}
+	ab0, ao0, gc0 := readAllocMetrics(samples)
+
 	t0 := time.Now()
-	cuts := splitter.Split(input)
-	blocks := BlocksFromCuts(int64(len(input)), cuts)
-	st.SplitTime = time.Since(t0)
-	st.Blocks = len(blocks)
+	// The order channel must hold every block that can be in flight
+	// beyond the merge head (work buffer + workers) so the splitter
+	// never blocks on it while the merger waits for the head block.
+	work := make(chan *item[R], 2*workers)
+	order := make(chan *item[R], 3*workers+4)
 
-	t1 := time.Now()
-	results := make([]R, len(blocks))
-	done := make([]bool, len(blocks))
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
-
-	work := make(chan Block, workers)
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
-			for b := range work {
-				r := process(b)
-				mu.Lock()
-				results[b.Index] = r
-				done[b.Index] = true
-				cond.Broadcast()
-				mu.Unlock()
+			for it := range work {
+				it.r = process(it.b)
+				close(it.ready)
 			}
 		}()
 	}
+
+	// Splitter goroutine: stream block descriptors as cuts are found.
+	var splitDur time.Duration
+	splitDone := make(chan struct{})
 	go func() {
-		for _, b := range blocks {
-			work <- b
+		defer close(splitDone)
+		s0 := time.Now()
+		var blocked time.Duration // backpressure waiting on full queues
+		n := int64(len(input))
+		prev := int64(0)
+		idx := 0
+		dispatch := func(b Block) {
+			it := &item[R]{b: b, ready: make(chan struct{})}
+			d0 := time.Now()
+			order <- it
+			work <- it
+			blocked += time.Since(d0)
 		}
+		yield := func(c int64) {
+			if c <= prev || c >= n {
+				return
+			}
+			dispatch(Block{Index: idx, Start: prev, End: c})
+			prev = c
+			idx++
+		}
+		if ss, ok := splitter.(StreamSplitter); ok {
+			ss.SplitStream(input, yield)
+		} else {
+			for _, c := range splitter.Split(input) {
+				yield(c)
+			}
+		}
+		dispatch(Block{Index: idx, Start: prev, End: n})
+		// Report only the time spent finding boundaries: waiting for a
+		// full work/order queue is the workers' time, not the split
+		// phase's, and counting it would double-bill overlapped phases.
+		splitDur = time.Since(s0) - blocked
+		close(order)
 		close(work)
 	}()
 
-	// Ordered merge: wait for each block in turn.
+	// Ordered merge on the caller's goroutine.
 	var mergeTime time.Duration
-	for i, b := range blocks {
-		mu.Lock()
-		for !done[i] {
-			cond.Wait()
-		}
-		r := results[i]
-		var zero R
-		results[i] = zero // release memory as the fold consumes it
-		mu.Unlock()
+	blocks := 0
+	for it := range order {
+		<-it.ready
 		m0 := time.Now()
-		fold(b, r)
+		fold(it.b, it.r)
 		mergeTime += time.Since(m0)
+		blocks++
 	}
-	wg.Wait()
-	elapsed := time.Since(t1)
+	<-splitDone
+
+	st.WallTime = time.Since(t0)
+	st.Blocks = blocks
+	st.SplitTime = splitDur
 	st.MergeTime = mergeTime
-	st.ProcessTime = elapsed - mergeTime
+	st.ProcessTime = st.WallTime - mergeTime
 	if st.ProcessTime < 0 {
 		st.ProcessTime = 0
 	}
+	ab1, ao1, gc1 := readAllocMetrics(samples)
+	st.AllocBytes = ab1 - ab0
+	st.AllocObjects = ao1 - ao0
+	st.GCCycles = gc1 - gc0
 	return st
 }

@@ -2,8 +2,10 @@ package pipeline
 
 import (
 	"bytes"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestFixedSplitter(t *testing.T) {
@@ -117,6 +119,98 @@ func TestStatsThroughput(t *testing.T) {
 	var s Stats
 	if s.ThroughputMBs() != 0 {
 		t.Error("zero-duration throughput should be 0")
+	}
+}
+
+// TestRunOverlapsSplitAndProcess verifies the engine's headline property:
+// workers start processing blocks while the splitter is still finding
+// boundaries. The splitter yields one cut, then refuses to continue until
+// a worker has processed a block — only an overlapped engine progresses.
+func TestRunOverlapsSplitAndProcess(t *testing.T) {
+	input := make([]byte, 4096)
+	firstProcessed := make(chan struct{})
+	var once sync.Once
+	splitter := StreamSplitterFunc(func(in []byte, yield func(int64)) {
+		yield(1024)
+		select {
+		case <-firstProcessed:
+		case <-time.After(10 * time.Second):
+			t.Error("no block processed before splitting completed; split phase is not overlapped")
+		}
+		yield(2048)
+		yield(3072)
+	})
+	var processed atomic.Int32
+	st := Run(input, splitter, 2,
+		func(b Block) int {
+			processed.Add(1)
+			once.Do(func() { close(firstProcessed) })
+			return b.Index
+		},
+		func(b Block, r int) {},
+	)
+	if st.Blocks != 4 || processed.Load() != 4 {
+		t.Fatalf("blocks=%d processed=%d, want 4", st.Blocks, processed.Load())
+	}
+}
+
+// TestRunOutOfOrderCompletion completes blocks in roughly reverse order
+// and checks the ordered-merge invariant; run under -race it also
+// exercises the per-block ready-channel handoff.
+func TestRunOutOfOrderCompletion(t *testing.T) {
+	const blocks = 16
+	input := make([]byte, 64*blocks)
+	var order []int
+	st := Run(input, FixedSplitter{BlockSize: 64}, 8,
+		func(b Block) int {
+			// Later blocks finish first.
+			time.Sleep(time.Duration(blocks-b.Index) * time.Millisecond)
+			return b.Index
+		},
+		func(b Block, r int) { order = append(order, r) },
+	)
+	if len(order) != blocks {
+		t.Fatalf("folded %d blocks, want %d", len(order), blocks)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("fold order %v", order)
+		}
+	}
+	if st.WallTime <= 0 || st.Total() != st.WallTime {
+		t.Errorf("WallTime = %v, Total = %v", st.WallTime, st.Total())
+	}
+}
+
+// TestRunStreamSplitterRejectsBadCuts feeds out-of-range and
+// non-monotonic cuts and expects them to be dropped.
+func TestRunStreamSplitterRejectsBadCuts(t *testing.T) {
+	input := make([]byte, 100)
+	splitter := StreamSplitterFunc(func(in []byte, yield func(int64)) {
+		yield(0)   // not a cut
+		yield(30)  // ok
+		yield(20)  // backwards: dropped
+		yield(30)  // duplicate: dropped
+		yield(60)  // ok
+		yield(100) // == len: dropped (final block is implicit)
+		yield(200) // beyond end: dropped
+	})
+	var got []Block
+	st := Run(input, splitter, 2,
+		func(b Block) Block { return b },
+		func(b Block, r Block) { got = append(got, r) },
+	)
+	want := []Block{{0, 0, 30}, {1, 30, 60}, {2, 60, 100}}
+	if len(got) != len(want) {
+		t.Fatalf("blocks = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("blocks = %+v, want %+v", got, want)
+		}
+	}
+	if st.Blocks != 3 {
+		t.Errorf("st.Blocks = %d", st.Blocks)
 	}
 }
 

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"atgis/internal/geom"
+	"atgis/internal/numparse"
 )
 
 // ParseLine parses one record of the form "<id>\t<WKT>". off is the byte
@@ -47,20 +49,34 @@ func ParseLine(line []byte, off int64) (geom.Feature, error) {
 	return f, nil
 }
 
+// parserPool recycles parsers (and their point/ring scratch buffers)
+// across lines, so steady-state parsing allocates only the exact-size
+// slices that escape into geometries.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
 // ParseGeometry parses a WKT geometry, returning the geometry and the
 // number of bytes consumed.
 func ParseGeometry(b []byte) (geom.Geometry, int, error) {
-	p := &parser{b: b}
+	p := parserPool.Get().(*parser)
+	p.b, p.i = b, 0
+	p.pts, p.rings = p.pts[:0], p.rings[:0]
 	g, err := p.geometry()
+	n := p.i
+	p.b = nil
+	parserPool.Put(p)
 	if err != nil {
-		return nil, p.i, err
+		return nil, n, err
 	}
-	return g, p.i, nil
+	return g, n, nil
 }
 
 type parser struct {
 	b []byte
 	i int
+	// pts/rings are stack-disciplined scratch accumulators: each list
+	// parse appends above its mark and copies an exact-size slice out.
+	pts   []geom.Point
+	rings []geom.Ring
 }
 
 func (p *parser) ws() {
@@ -69,7 +85,9 @@ func (p *parser) ws() {
 	}
 }
 
-func (p *parser) keyword() string {
+// keyword returns the raw bytes of the leading keyword; callers compare
+// via switch string(kw), which the compiler keeps allocation-free.
+func (p *parser) keyword() []byte {
 	p.ws()
 	start := p.i
 	for p.i < len(p.b) {
@@ -80,7 +98,7 @@ func (p *parser) keyword() string {
 		}
 		break
 	}
-	return string(p.b[start:p.i])
+	return p.b[start:p.i]
 }
 
 func (p *parser) expect(c byte) error {
@@ -102,19 +120,21 @@ func (p *parser) peek() byte {
 
 func (p *parser) number() (float64, error) {
 	p.ws()
-	start := p.i
-	for p.i < len(p.b) {
-		c := p.b[p.i]
-		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
-			p.i++
-			continue
-		}
-		break
-	}
-	if start == p.i {
+	v, n, ok := numparse.Prefix(p.b[p.i:])
+	if !ok {
 		return 0, fmt.Errorf("wkt: expected number at %d in %.60q", p.i, p.b)
 	}
-	return strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	p.i += n
+	// A number must end at a WKT delimiter; anything else (e.g. "2-3")
+	// is a corrupt token, not two numbers.
+	if p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', ',', ')':
+		default:
+			return 0, fmt.Errorf("wkt: malformed number at %d in %.60q", p.i, p.b)
+		}
+	}
+	return v, nil
 }
 
 func (p *parser) point() (geom.Point, error) {
@@ -129,51 +149,59 @@ func (p *parser) point() (geom.Point, error) {
 	return geom.Point{X: x, Y: y}, nil
 }
 
-// pointList parses "(x y, x y, ...)".
+// pointList parses "(x y, x y, ...)" through the pts scratch buffer,
+// copying one exact-size slice out (a single allocation per list
+// instead of an append growth chain).
 func (p *parser) pointList() ([]geom.Point, error) {
 	if err := p.expect('('); err != nil {
 		return nil, err
 	}
-	var pts []geom.Point
+	mark := len(p.pts)
+	defer func() { p.pts = p.pts[:mark] }()
 	for {
 		pt, err := p.point()
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, pt)
+		p.pts = append(p.pts, pt)
 		if p.peek() == ',' {
 			p.i++
 			continue
 		}
 		break
 	}
+	pts := make([]geom.Point, len(p.pts)-mark)
+	copy(pts, p.pts[mark:])
 	return pts, p.expect(')')
 }
 
-// ringList parses "((...),(...))".
+// ringList parses "((...),(...))" through the rings scratch buffer.
 func (p *parser) ringList() ([]geom.Ring, error) {
 	if err := p.expect('('); err != nil {
 		return nil, err
 	}
-	var rings []geom.Ring
+	mark := len(p.rings)
+	defer func() { p.rings = p.rings[:mark] }()
 	for {
 		pts, err := p.pointList()
 		if err != nil {
 			return nil, err
 		}
-		rings = append(rings, geom.Ring(pts))
+		p.rings = append(p.rings, geom.Ring(pts))
 		if p.peek() == ',' {
 			p.i++
 			continue
 		}
 		break
 	}
+	rings := make([]geom.Ring, len(p.rings)-mark)
+	copy(rings, p.rings[mark:])
 	return rings, p.expect(')')
 }
 
 func (p *parser) geometry() (geom.Geometry, error) {
 	kw := p.keyword()
-	switch kw {
+	switch string(kw) {
 	case "POINT":
 		if err := p.expect('('); err != nil {
 			return nil, err
@@ -241,10 +269,17 @@ func (p *parser) geometry() (geom.Geometry, error) {
 // formats. Block boundaries are chosen at the first newline at or after
 // each multiple of blockSize.
 func SplitLines(input []byte, blockSize int) []int64 {
+	var cuts []int64
+	SplitLinesStream(input, blockSize, func(cut int64) { cuts = append(cuts, cut) })
+	return cuts
+}
+
+// SplitLinesStream yields line-boundary cut offsets in increasing order
+// as they are found (the incremental splitting form of SplitLines).
+func SplitLinesStream(input []byte, blockSize int, yieldCut func(int64)) {
 	if blockSize < 1 {
 		blockSize = 1
 	}
-	var cuts []int64
 	for target := blockSize; target < len(input); {
 		i := target
 		for i < len(input) && input[i-1] != '\n' {
@@ -253,10 +288,9 @@ func SplitLines(input []byte, blockSize int) []int64 {
 		if i >= len(input) {
 			break
 		}
-		cuts = append(cuts, int64(i))
+		yieldCut(int64(i))
 		target = i + blockSize
 	}
-	return cuts
 }
 
 // EachLine invokes fn for every non-empty line in block (offsets

@@ -181,3 +181,14 @@ func TestSplitLinesInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestMalformedNumberRejected: a corrupt token like "2-3" must error,
+// not silently parse as two adjacent numbers.
+func TestMalformedNumberRejected(t *testing.T) {
+	if _, _, err := ParseGeometry([]byte("LINESTRING (0 1, 2-3)")); err == nil {
+		t.Error("corrupt token 2-3 should be rejected")
+	}
+	if _, _, err := ParseGeometry([]byte("LINESTRING (0 1, 2 3)")); err != nil {
+		t.Errorf("valid linestring rejected: %v", err)
+	}
+}

@@ -10,58 +10,46 @@
 // the whole pipeline over an arbitrary block of the input and per-block
 // fragments merge associatively.
 //
+// The API is layered:
+//
+//   - A Source owns the raw byte view and its lifecycle: OpenMapped
+//     memory-maps a file, FromBytes wraps a buffer, ReaderSource buffers
+//     piped input.
+//   - An Engine owns a shared worker pool and runs any number of
+//     concurrent queries against one or more open Sources.
+//   - A PreparedQuery is compiled once from a query.Spec and executed
+//     many times with context cancellation; results either summarise in
+//     one blocking call (Execute) or stream feature-by-feature (Stream).
+//
 // Quickstart:
 //
-//	ds, err := atgis.Open("data.geojson")
-//	res, err := ds.Query(&query.Spec{
+//	src, err := atgis.OpenMapped("data.geojson", atgis.AutoDetect)
+//	defer src.Close()
+//	eng := atgis.NewEngine(atgis.EngineConfig{})
+//	defer eng.Close()
+//	pq, err := eng.Prepare(&query.Spec{
 //	        Kind: query.Aggregation,
 //	        Ref:  region,
 //	        Pred: query.PredIntersects,
 //	        WantArea: true, WantPerimeter: true,
 //	}, atgis.Options{})
+//	res, err := pq.Execute(ctx, src)
 //	fmt.Println(res.Res.Count, res.Res.SumArea, res.Stats.ThroughputMBs())
+//
+// The original Dataset type and its Open/Query/Join methods remain as
+// deprecated wrappers over a default Engine.
 package atgis
 
 import (
-	"bytes"
-	"fmt"
-	"os"
+	"context"
 	"runtime"
-	"sort"
 
-	"atgis/internal/geojson"
 	"atgis/internal/geom"
 	"atgis/internal/join"
-	"atgis/internal/osmxml"
 	"atgis/internal/partition"
 	"atgis/internal/pipeline"
 	"atgis/internal/query"
-	"atgis/internal/wkt"
 )
-
-// Format identifies the raw input format.
-type Format uint8
-
-// Supported input formats.
-const (
-	AutoDetect Format = iota
-	GeoJSON
-	WKT
-	OSMXML
-)
-
-func (f Format) String() string {
-	switch f {
-	case GeoJSON:
-		return "geojson"
-	case WKT:
-		return "wkt"
-	case OSMXML:
-		return "osmxml"
-	default:
-		return "auto"
-	}
-}
 
 // Mode selects the parallel execution strategy (paper §3.5, §5):
 // fully-associative transducers speculate over parser states and split
@@ -86,9 +74,12 @@ func (m Mode) String() string {
 
 // Options tunes execution.
 type Options struct {
-	// Workers is the number of processing threads (0 = GOMAXPROCS).
+	// Workers is the number of processing threads for engines without a
+	// shared pool (0 = GOMAXPROCS). Engines built with NewEngine size
+	// their pool once and ignore this.
 	Workers int
-	// BlockSize is the target block size in bytes (0 = 1 MiB).
+	// BlockSize is the target block size in bytes (0 = the engine
+	// default, which itself defaults to 1 MiB).
 	BlockSize int
 	// Mode selects FAT or PAT execution (GeoJSON only; WKT and OSM XML
 	// always use boundary splitting).
@@ -111,53 +102,6 @@ func (o Options) blockSize() int {
 	return 1 << 20
 }
 
-// Dataset is a raw spatial input held in memory (the paper reads from a
-// RAM disk; this implementation loads the file once and operates on the
-// shared buffer, which also lets joins re-parse objects by offset).
-type Dataset struct {
-	Data   []byte
-	Format Format
-}
-
-// Open loads a dataset file, detecting the format from its content when
-// format is AutoDetect.
-func Open(path string) (*Dataset, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return FromBytes(data, AutoDetect)
-}
-
-// FromBytes wraps an in-memory dataset.
-func FromBytes(data []byte, format Format) (*Dataset, error) {
-	if format == AutoDetect {
-		format = detect(data)
-	}
-	if format == AutoDetect {
-		return nil, fmt.Errorf("atgis: cannot detect input format")
-	}
-	return &Dataset{Data: data, Format: format}, nil
-}
-
-func detect(data []byte) Format {
-	head := data
-	if len(head) > 512 {
-		head = head[:512]
-	}
-	trimmed := bytes.TrimLeft(head, " \t\r\n")
-	switch {
-	case bytes.HasPrefix(trimmed, []byte("<?xml")), bytes.HasPrefix(trimmed, []byte("<osm")):
-		return OSMXML
-	case bytes.HasPrefix(trimmed, []byte("{")), bytes.HasPrefix(trimmed, []byte("[")):
-		return GeoJSON
-	case len(trimmed) > 0 && (trimmed[0] >= '0' && trimmed[0] <= '9' || trimmed[0] == '-'):
-		return WKT
-	default:
-		return AutoDetect
-	}
-}
-
 // Result bundles a query result with execution statistics.
 type Result struct {
 	Res   *query.Result
@@ -165,241 +109,6 @@ type Result struct {
 	// Repaired counts PAT blocks re-parsed after mis-splits; Reprocessed
 	// counts FAT blocks whose speculation was invalidated.
 	Repaired, Reprocessed int
-}
-
-// Query executes a single-pass containment or aggregation query (Fig. 6:
-// parse/extract → transform/filter → aggregate) in one parallel pass over
-// the raw input.
-func (d *Dataset) Query(spec *query.Spec, opt Options) (*Result, error) {
-	spec.Normalize()
-	out := &Result{Res: query.NewResult()}
-	sink := func(f geojson.FeatureOut) {
-		v, _ := f.Val.(query.FeatureVal)
-		out.Res.Absorb(spec, &f.Feature, v)
-	}
-	consume := func(f *geom.Feature) {
-		out.Res.Absorb(spec, f, query.Apply(spec, f))
-	}
-	var err error
-	switch d.Format {
-	case GeoJSON:
-		out.Stats, out.Repaired, out.Reprocessed, err = d.runGeoJSON(spec, opt, sink)
-	case WKT:
-		out.Stats, err = d.runWKT(opt, consume)
-	case OSMXML:
-		out.Stats, err = d.runOSM(opt, consume)
-	default:
-		err = fmt.Errorf("atgis: unsupported format %v", d.Format)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// geojsonConfig builds the extraction config with the per-feature query
-// evaluation fused into the parallel phase.
-func (d *Dataset) geojsonConfig(spec *query.Spec, opt Options) *geojson.Config {
-	return &geojson.Config{
-		PropKeys: opt.PropKeys,
-		Eval: func(f *geom.Feature) any {
-			if spec == nil {
-				return query.FeatureVal{}
-			}
-			return query.Apply(spec, f)
-		},
-	}
-}
-
-func (d *Dataset) runGeoJSON(spec *query.Spec, opt Options, sink func(geojson.FeatureOut)) (pipeline.Stats, int, int, error) {
-	return d.runGeoJSONWith(d.geojsonConfig(spec, opt), opt, sink)
-}
-
-// runGeoJSONWith executes the GeoJSON pipeline (FAT or PAT per opt.Mode)
-// with an explicit extraction config, streaming features into sink. It
-// returns the pipeline stats plus the repaired (PAT) and reprocessed
-// (FAT) block counts. Both the query path and the join partition pass
-// share this one pipeline assembly.
-func (d *Dataset) runGeoJSONWith(cfg *geojson.Config, opt Options, sink func(geojson.FeatureOut)) (pipeline.Stats, int, int, error) {
-	if opt.Mode == FAT {
-		fold := geojson.NewFold(d.Data, cfg, sink)
-		st := pipeline.Run(d.Data,
-			pipeline.FixedSplitter{BlockSize: opt.blockSize()},
-			opt.workers(),
-			func(b pipeline.Block) geojson.BlockResult {
-				return geojson.ProcessBlockFAT(d.Data, b.Start, b.End, cfg)
-			},
-			func(b pipeline.Block, r geojson.BlockResult) { fold.Add(r) },
-		)
-		return st, 0, fold.Reprocessed, fold.Finish()
-	}
-	// PAT: boundary-searching splitter plus optimised per-block parser.
-	// The boundary scan streams cuts so block parsing starts while the
-	// scan is still running.
-	fold := geojson.NewPATFold(d.Data, cfg, sink)
-	headerDone := false
-	st := pipeline.Run(d.Data,
-		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
-			geojson.FindFeatureBoundariesStream(input, opt.blockSize(), yield)
-		}),
-		opt.workers(),
-		func(b pipeline.Block) *geojson.PATBlockResult {
-			if b.Index == 0 {
-				return nil // header handled by the fold
-			}
-			r := geojson.ProcessBlockPAT(d.Data, b.Start, b.End, cfg)
-			return &r
-		},
-		func(b pipeline.Block, r *geojson.PATBlockResult) {
-			if r == nil {
-				fold.Header(b.End)
-				headerDone = true
-				return
-			}
-			if !headerDone {
-				fold.Header(0)
-				headerDone = true
-			}
-			fold.Add(*r)
-		},
-	)
-	return st, fold.Repaired, 0, fold.Finish(int64(len(d.Data)))
-}
-
-func (d *Dataset) runWKT(opt Options, consume func(*geom.Feature)) (pipeline.Stats, error) {
-	type frag struct {
-		feats []geom.Feature
-		err   error
-	}
-	var firstErr error
-	st := pipeline.Run(d.Data,
-		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
-			wkt.SplitLinesStream(input, opt.blockSize(), yield)
-		}),
-		opt.workers(),
-		func(b pipeline.Block) frag {
-			var fr frag
-			fr.err = wkt.EachLine(d.Data, b.Start, b.End, func(line []byte, off int64) error {
-				f, err := wkt.ParseLine(line, off)
-				if err != nil {
-					return err
-				}
-				fr.feats = append(fr.feats, f)
-				return nil
-			})
-			return fr
-		},
-		func(b pipeline.Block, fr frag) {
-			if fr.err != nil && firstErr == nil {
-				firstErr = fr.err
-			}
-			for i := range fr.feats {
-				consume(&fr.feats[i])
-			}
-		},
-	)
-	return st, firstErr
-}
-
-// runOSM executes the multi-pass OSM XML pipeline: pass 1 builds the
-// node table and collects ways/relations in parallel; pass 2 assembles
-// geometries and evaluates the query.
-func (d *Dataset) runOSM(opt Options, consume func(*geom.Feature)) (pipeline.Stats, error) {
-	nodes := osmxml.NewNodeTable()
-	wayTab := osmxml.NewWayTable()
-	type frag struct {
-		ways []*osmxml.Way
-		rels []*osmxml.Relation
-		err  error
-	}
-	var firstErr error
-	var allWays []*osmxml.Way
-	var allRels []*osmxml.Relation
-	st := pipeline.Run(d.Data,
-		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
-			osmxml.SplitElementsStream(input, opt.blockSize(), yield)
-		}),
-		opt.workers(),
-		func(b pipeline.Block) frag {
-			var fr frag
-			fr.err = osmxml.ParseBlock(d.Data, b.Start, b.End, &osmxml.Handler{
-				OnNode: nodes.Put,
-				OnWay:  func(w *osmxml.Way) { fr.ways = append(fr.ways, w) },
-				OnRelation: func(r *osmxml.Relation) {
-					fr.rels = append(fr.rels, r)
-				},
-			})
-			return fr
-		},
-		func(b pipeline.Block, fr frag) {
-			if fr.err != nil && firstErr == nil {
-				firstErr = fr.err
-			}
-			allWays = append(allWays, fr.ways...)
-			allRels = append(allRels, fr.rels...)
-		},
-	)
-	if firstErr != nil {
-		return st, firstErr
-	}
-	for _, w := range allWays {
-		wayTab.Put(w)
-	}
-	// Pass 2: assemble + evaluate. Ways referenced by multipolygon
-	// relations are consumed by the relation, not emitted standalone.
-	inRelation := make(map[int64]bool)
-	for _, r := range allRels {
-		for _, m := range r.Members {
-			if m.Type == "way" {
-				inRelation[m.Ref] = true
-			}
-		}
-	}
-	for _, w := range allWays {
-		if inRelation[w.ID] {
-			continue
-		}
-		g, err := osmxml.AssembleWay(w, nodes)
-		if err != nil {
-			return st, err
-		}
-		f := geom.Feature{ID: w.ID, Geom: g, Offset: w.Off}
-		consume(&f)
-	}
-	for _, r := range allRels {
-		g, err := osmxml.AssembleRelation(r, wayTab, nodes)
-		if err != nil {
-			return st, err
-		}
-		f := geom.Feature{ID: r.ID, Geom: g, Offset: r.Off}
-		consume(&f)
-	}
-	return st, nil
-}
-
-// CollectFeatures parses the whole dataset into features (used by the
-// baseline engines, which require loaded data — the phase AT-GIS skips).
-func (d *Dataset) CollectFeatures(opt Options) ([]geom.Feature, error) {
-	var feats []geom.Feature
-	consume := func(f *geom.Feature) { feats = append(feats, *f) }
-	var err error
-	switch d.Format {
-	case GeoJSON:
-		_, _, _, err = d.runGeoJSON(nil, opt, func(f geojson.FeatureOut) {
-			feats = append(feats, f.Feature)
-		})
-	case WKT:
-		_, err = d.runWKT(opt, consume)
-	case OSMXML:
-		_, err = d.runOSM(opt, consume)
-	default:
-		err = fmt.Errorf("atgis: unsupported format %v", d.Format)
-	}
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(feats, func(i, j int) bool { return feats[i].Offset < feats[j].Offset })
-	return feats, nil
 }
 
 // JoinSpec describes a two-pass spatial join (Table 3): the dataset is
@@ -430,152 +139,6 @@ type JoinResult struct {
 	Extent         geom.Box
 }
 
-// Join executes the two-pass PBSM join (Fig. 6 then Fig. 8).
-func (d *Dataset) Join(spec JoinSpec, opt Options) (*JoinResult, error) {
-	if spec.Predicate == nil {
-		spec.Predicate = geom.Intersects
-	}
-	if spec.CellSize <= 0 {
-		spec.CellSize = 1
-	}
-	// Geographic datasets use the world extent for the partition grid
-	// (paper §5.6 sizes partitions in degrees).
-	extent := geom.Box{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
-	grid := partition.NewGrid(extent, spec.CellSize)
-
-	mask := spec.Mask
-	if mask == nil {
-		mask = func(*geom.Feature) uint8 { return query.SideA | query.SideB }
-	}
-	merged := query.NewPartitionSink(grid, spec.Store, mask)
-
-	processFeature := func(fr *fragOf, f *geom.Feature) {
-		if spec.SeparatePartitionPhase {
-			fr.feats = append(fr.feats, geom.Feature{
-				ID: f.ID, Offset: f.Offset,
-				Geom: boundsOnly(f.Geom),
-			})
-			return
-		}
-		fr.sink.Consume(f)
-	}
-
-	var firstErr error
-	stats := d.partitionPass(opt, spec, processFeature, func(fr *fragOf) {
-		if fr.err != nil && firstErr == nil {
-			firstErr = fr.err
-			return
-		}
-		if spec.SeparatePartitionPhase {
-			for i := range fr.feats {
-				merged.Consume(&fr.feats[i])
-			}
-			return
-		}
-		if err := merged.Merge(fr.sink); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}, func() *fragOf {
-		fr := &fragOf{}
-		if !spec.SeparatePartitionPhase {
-			fr.sink = query.NewPartitionSink(grid, spec.Store, mask)
-		}
-		return fr
-	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	reparse, err := d.reparser(opt)
-	if err != nil {
-		return nil, err
-	}
-	pairs, jstats, err := join.Run(merged.Sets[0], merged.Sets[1], join.Config{
-		Predicate:     spec.Predicate,
-		ReparseA:      reparse,
-		ReparseB:      reparse,
-		Workers:       opt.workers(),
-		SortThreshold: spec.SortThreshold,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &JoinResult{
-		Pairs:          pairs,
-		PartitionStats: stats,
-		JoinStats:      jstats,
-		Extent:         extent,
-	}, nil
-}
-
-// boundsOnly replaces a geometry by its MBR polygon (partition pass only
-// needs bounds; keeps the separate-phase buffers small).
-func boundsOnly(g geom.Geometry) geom.Geometry {
-	if g == nil {
-		return nil
-	}
-	return g.Bound().AsPolygon()
-}
-
-// fragOf is the per-block fragment of the join's partition pipeline.
-type fragOf struct {
-	sink  *query.PartitionSink
-	feats []geom.Feature // separate-phase mode buffers bounds only
-	err   error
-}
-
-// partitionPass runs the first (partition/bounding) pipeline for joins.
-func (d *Dataset) partitionPass(
-	opt Options,
-	spec JoinSpec,
-	processFeature func(fr *fragOf, f *geom.Feature),
-	foldFrag func(fr *fragOf),
-	newFrag func() *fragOf,
-) pipeline.Stats {
-	switch d.Format {
-	case GeoJSON:
-		// Same PAT/FAT pipeline as queries, minus the fused Eval.
-		foldSink := newFrag()
-		st, _, _, err := d.runGeoJSONWith(
-			&geojson.Config{PropKeys: opt.PropKeys}, opt,
-			func(f geojson.FeatureOut) { processFeature(foldSink, &f.Feature) },
-		)
-		if err != nil {
-			foldSink.err = err
-		}
-		foldFrag(foldSink)
-		return st
-	case WKT:
-		return pipeline.Run(d.Data,
-			pipeline.StreamSplitterFunc(func(input []byte, yield func(int64)) {
-				wkt.SplitLinesStream(input, opt.blockSize(), yield)
-			}),
-			opt.workers(),
-			func(b pipeline.Block) *fragOf {
-				fr := newFrag()
-				fr.err = wkt.EachLine(d.Data, b.Start, b.End, func(line []byte, off int64) error {
-					f, err := wkt.ParseLine(line, off)
-					if err != nil {
-						return err
-					}
-					processFeature(fr, &f)
-					return nil
-				})
-				return fr
-			},
-			func(b pipeline.Block, fr *fragOf) { foldFrag(fr) },
-		)
-	default:
-		fr := newFrag()
-		st, err := d.runOSM(opt, func(f *geom.Feature) { processFeature(fr, f) })
-		if err != nil {
-			fr.err = err
-		}
-		foldFrag(fr)
-		return st
-	}
-}
-
 // CombinedSpec is Table 3's combined query: two perimeter-filtered
 // sides of the dataset are spatially joined and the areas of the
 // pairwise unions are summed:
@@ -600,108 +163,34 @@ type CombinedResult struct {
 	JoinResult   *JoinResult
 }
 
-// Combined executes the combined query: the filters compile into the
-// partition pipeline's side mask (an object may satisfy both and join
-// with itself excluded), the join refines with ST_Intersects, and the
-// per-pair ST_Union area aggregation runs over the joined stream — the
-// more complex pipeline of paper §5's combined query.
+// Query executes a single-pass containment or aggregation query over
+// the dataset.
+//
+// Deprecated: prepare the query on an Engine and call Execute, which
+// adds context cancellation, shared worker pools and streaming results.
+func (d *Dataset) Query(spec *query.Spec, opt Options) (*Result, error) {
+	return defaultEngine.Query(context.Background(), d, spec, opt)
+}
+
+// Join executes the two-pass PBSM join (Fig. 6 then Fig. 8).
+//
+// Deprecated: use Engine.Join (or Engine.JoinStream for unbuffered
+// pair iteration).
+func (d *Dataset) Join(spec JoinSpec, opt Options) (*JoinResult, error) {
+	return defaultEngine.Join(context.Background(), d, spec, opt)
+}
+
+// Combined executes the combined filter+join+union-area query.
+//
+// Deprecated: use Engine.Combined.
 func (d *Dataset) Combined(spec CombinedSpec, opt Options) (*CombinedResult, error) {
-	if spec.CellSize <= 0 {
-		spec.CellSize = 1
-	}
-	mask := func(f *geom.Feature) uint8 {
-		p := geom.Perimeter(f.Geom, spec.Dist)
-		var m uint8
-		if p > spec.T1 {
-			m |= query.SideA
-		}
-		if p < spec.T2 {
-			m |= query.SideB
-		}
-		return m
-	}
-	jr, err := d.Join(JoinSpec{Mask: mask, CellSize: spec.CellSize}, opt)
-	if err != nil {
-		return nil, err
-	}
-	reparse, err := d.reparser(opt)
-	if err != nil {
-		return nil, err
-	}
-	out := &CombinedResult{JoinResult: jr}
-	for _, p := range jr.Pairs {
-		if p.AOff == p.BOff {
-			continue // an object satisfying both filters joins others, not itself
-		}
-		ga, err := reparse(p.AOff)
-		if err != nil {
-			return nil, err
-		}
-		gb, err := reparse(p.BOff)
-		if err != nil {
-			return nil, err
-		}
-		pa, okA := asPolygon(ga)
-		pb, okB := asPolygon(gb)
-		if !okA || !okB {
-			continue // union aggregation defined on areal operands
-		}
-		out.Pairs++
-		out.SumUnionArea += geom.SphericalArea(geom.PolyUnion(pa, pb))
-	}
-	return out, nil
+	return defaultEngine.Combined(context.Background(), d, spec, opt)
 }
 
-// asPolygon extracts a polygon operand for the union aggregate.
-func asPolygon(g geom.Geometry) (geom.Polygon, bool) {
-	switch t := g.(type) {
-	case geom.Polygon:
-		return t, true
-	case geom.MultiPolygon:
-		if len(t) > 0 {
-			return t[0], true
-		}
-	}
-	return nil, false
-}
-
-// reparser returns the offset-based geometry re-parser for joins
-// (paper §4.5: partitions store offsets, objects re-parse on demand).
-func (d *Dataset) reparser(opt Options) (join.Reparser, error) {
-	switch d.Format {
-	case WKT:
-		return func(off int64) (geom.Geometry, error) {
-			end := off
-			for end < int64(len(d.Data)) && d.Data[end] != '\n' {
-				end++
-			}
-			f, err := wkt.ParseLine(d.Data[off:end], off)
-			if err != nil {
-				return nil, err
-			}
-			return f.Geom, nil
-		}, nil
-	case GeoJSON:
-		return func(off int64) (geom.Geometry, error) {
-			return geojson.ReparseFeature(d.Data, off)
-		}, nil
-	case OSMXML:
-		// OSM XML cannot re-parse a single element in isolation (point
-		// data lives in the node table, paper §5.3's random-access
-		// penalty). Build an offset-keyed geometry table once.
-		table := make(map[int64]geom.Geometry)
-		_, err := d.runOSM(opt, func(f *geom.Feature) { table[f.Offset] = f.Geom })
-		if err != nil {
-			return nil, err
-		}
-		return func(off int64) (geom.Geometry, error) {
-			g, ok := table[off]
-			if !ok {
-				return nil, fmt.Errorf("atgis: no OSM object at offset %d", off)
-			}
-			return g, nil
-		}, nil
-	default:
-		return nil, fmt.Errorf("atgis: unsupported join format %v", d.Format)
-	}
+// CollectFeatures parses the whole dataset into features (used by the
+// baseline engines, which require loaded data — the phase AT-GIS skips).
+//
+// Deprecated: use Engine.CollectFeatures.
+func (d *Dataset) CollectFeatures(opt Options) ([]geom.Feature, error) {
+	return defaultEngine.CollectFeatures(context.Background(), d, opt)
 }

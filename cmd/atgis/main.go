@@ -1,5 +1,7 @@
 // Command atgis runs spatial queries directly over raw GeoJSON, WKT or
-// OSM XML files with no loading phase:
+// OSM XML files with no loading phase. Inputs are memory-mapped ("-"
+// reads stdin), queries run on a shared engine, and Ctrl-C cancels the
+// in-flight pipeline:
 //
 //	atgis -query aggregation -ref "-10,-10,10,10" data.geojson
 //	atgis -query containment -mode fat -workers 8 data.geojson
@@ -7,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +39,14 @@ func parseBox(s string) (geom.Box, error) {
 	return geom.Box{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
 }
 
+// openSource maps the input file, or buffers stdin for "-".
+func openSource(path string) (atgis.Source, error) {
+	if path == "-" {
+		return atgis.ReaderSource(os.Stdin, atgis.AutoDetect)
+	}
+	return atgis.OpenMapped(path, atgis.AutoDetect)
+}
+
 func main() {
 	queryKind := flag.String("query", "aggregation", "containment | aggregation | join")
 	ref := flag.String("ref", "-45,-45,45,45", "reference box: minx,miny,maxx,maxy")
@@ -44,16 +56,26 @@ func main() {
 	cell := flag.Float64("cell", 1, "join partition cell size in degrees")
 	distName := flag.String("dist", "haversine", "spherical | haversine | andoyer")
 	filterMode := flag.String("filter", "streaming", "streaming | buffered")
+	show := flag.Int("show", 0, "stream and print the first N matches/pairs")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: atgis [flags] <datafile>")
+		fmt.Fprintln(os.Stderr, "usage: atgis [flags] <datafile|->")
 		flag.Usage()
 		os.Exit(2)
 	}
-	ds, err := atgis.Open(flag.Arg(0))
+
+	// Ctrl-C cancels the in-flight query pipeline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	src, err := openSource(flag.Arg(0))
 	fatal(err)
-	fmt.Printf("dataset: %s (%s, %.1f MB)\n", flag.Arg(0), ds.Format, float64(len(ds.Data))/(1<<20))
+	defer src.Close()
+	fmt.Printf("dataset: %s (%s, %.1f MB)\n", flag.Arg(0), src.DataFormat(), float64(len(src.Bytes()))/(1<<20))
+
+	eng := atgis.NewEngine(atgis.EngineConfig{Workers: *workers, BlockSize: *blockSize})
+	defer eng.Close()
 
 	opt := atgis.Options{Workers: *workers, BlockSize: *blockSize}
 	if strings.EqualFold(*mode, "fat") {
@@ -76,12 +98,24 @@ func main() {
 	case "containment":
 		spec := &query.Spec{
 			Kind: query.Containment, Ref: box.AsPolygon(),
-			Pred: query.PredIntersects, KeepMatches: true,
+			Pred: query.PredIntersects,
 		}
-		res, err := ds.Query(spec, opt)
+		pq, err := eng.Prepare(spec, opt)
 		fatal(err)
-		fmt.Printf("matched %d of %d objects\n", res.Res.Count, res.Res.Scanned)
-		printStats(res)
+		// Stream matches instead of buffering the result set.
+		res := pq.Stream(ctx, src)
+		matched := 0
+		for res.Next() {
+			if matched < *show {
+				f := res.Feature()
+				fmt.Printf("  match id=%d offset=%d mbr=%+v\n", f.ID, f.Offset, f.Geom.Bound())
+			}
+			matched++
+		}
+		sum, err := res.Summary()
+		fatal(err)
+		fmt.Printf("matched %d of %d objects\n", matched, sum.Res.Scanned)
+		printStats(sum)
 	case "aggregation":
 		spec := &query.Spec{
 			Kind: query.Aggregation, Ref: box.AsPolygon(),
@@ -91,7 +125,9 @@ func main() {
 		if strings.EqualFold(*filterMode, "buffered") {
 			spec.Mode = query.Buffered
 		}
-		res, err := ds.Query(spec, opt)
+		pq, err := eng.Prepare(spec, opt)
+		fatal(err)
+		res, err := pq.Execute(ctx, src)
 		fatal(err)
 		fmt.Printf("matched %d of %d objects\n", res.Res.Count, res.Res.Scanned)
 		fmt.Printf("total area: %.3f km²\n", res.Res.SumArea/1e6)
@@ -99,7 +135,7 @@ func main() {
 		printStats(res)
 	case "join":
 		start := time.Now()
-		jr, err := ds.Join(atgis.JoinSpec{
+		spec := atgis.JoinSpec{
 			Mask: func(f *geom.Feature) uint8 {
 				if f.ID%2 == 0 {
 					return query.SideA
@@ -107,10 +143,22 @@ func main() {
 				return query.SideB
 			},
 			CellSize: *cell,
-		}, opt)
+		}
+		// Stream pairs: nothing buffers, duplicates are suppressed at the
+		// source by the reference-point test.
+		pairs := eng.JoinStream(ctx, src, spec, opt)
+		n := 0
+		for pairs.Next() {
+			if n < *show {
+				p := pairs.Pair()
+				fmt.Printf("  pair a=%d b=%d\n", p.AID, p.BID)
+			}
+			n++
+		}
+		sum, err := pairs.Summary()
 		fatal(err)
-		fmt.Printf("join: %d pairs (candidates %d, duplicates removed %d) in %v\n",
-			len(jr.Pairs), jr.JoinStats.Candidates, jr.JoinStats.Duplicates, time.Since(start))
+		fmt.Printf("join: %d pairs (candidates %d, duplicates suppressed %d) in %v\n",
+			n, sum.JoinStats.Candidates, sum.JoinStats.Duplicates, time.Since(start))
 	default:
 		fatal(fmt.Errorf("unknown query kind %q", *queryKind))
 	}

@@ -1,0 +1,608 @@
+package atgis
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"atgis/internal/geojson"
+	"atgis/internal/geom"
+	"atgis/internal/join"
+	"atgis/internal/osmxml"
+	"atgis/internal/partition"
+	"atgis/internal/pipeline"
+	"atgis/internal/query"
+	"atgis/internal/wkt"
+)
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// Workers is the size of the shared worker pool (0 = GOMAXPROCS).
+	// All concurrent queries on the engine share these workers.
+	Workers int
+	// BlockSize is the default block size in bytes for queries that do
+	// not set Options.BlockSize (0 = 1 MiB).
+	BlockSize int
+}
+
+// Engine executes queries. It owns a persistent worker pool shared by
+// every query it runs, so many concurrent requests against one or more
+// open Sources contend for a bounded set of processing threads instead
+// of each spawning their own; parser machines recycle through pools
+// across blocks and across queries.
+//
+// An Engine is safe for concurrent use. The zero value is valid: it
+// runs each query on its own transient workers (Options.Workers many),
+// which is what the package-level compatibility wrappers use. NewEngine
+// attaches the shared pool; Close releases it.
+type Engine struct {
+	blockSize int
+	pool      *pipeline.Pool
+	closed    atomic.Bool
+}
+
+// NewEngine starts an engine with a shared worker pool.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPool(cfg.Workers)}
+}
+
+// Close stops the engine's worker pool. Queries must not be in flight;
+// further queries on the engine fail.
+func (e *Engine) Close() error {
+	if e.closed.CompareAndSwap(false, true) && e.pool != nil {
+		e.pool.Close()
+	}
+	return nil
+}
+
+// ErrEngineClosed is returned by queries on a closed engine.
+var ErrEngineClosed = fmt.Errorf("atgis: engine closed")
+
+func (e *Engine) check() error {
+	if e != nil && e.closed.Load() {
+		return ErrEngineClosed
+	}
+	return nil
+}
+
+// exec selects the processing resources for one run: the engine's
+// shared pool when present, else transient per-run workers.
+func (e *Engine) exec(opt Options) pipeline.Exec {
+	if e != nil && e.pool != nil {
+		return pipeline.Exec{Pool: e.pool}
+	}
+	return pipeline.Exec{Workers: opt.workers()}
+}
+
+// opts applies the engine's defaults to per-query options.
+func (e *Engine) opts(opt Options) Options {
+	if opt.BlockSize == 0 && e != nil && e.blockSize > 0 {
+		opt.BlockSize = e.blockSize
+	}
+	return opt
+}
+
+// defaultEngine backs the Dataset compatibility wrappers: no shared
+// pool, transient workers per call, never closed.
+var defaultEngine = &Engine{}
+
+// Query executes a single-pass containment or aggregation query (Fig. 6:
+// parse/extract → transform/filter → aggregate) in one parallel pass
+// over the raw input of src. It is the one-shot form of
+// Prepare + Execute.
+func (e *Engine) Query(ctx context.Context, src Source, spec *query.Spec, opt Options) (*Result, error) {
+	p, err := e.Prepare(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(ctx, src)
+}
+
+// CollectFeatures parses the whole source into features (used by the
+// baseline engines, which require loaded data — the phase AT-GIS skips).
+func (e *Engine) CollectFeatures(ctx context.Context, src Source, opt Options) ([]geom.Feature, error) {
+	if err := e.check(); err != nil {
+		return nil, err
+	}
+	opt = e.opts(opt)
+	data := src.Bytes()
+	var feats []geom.Feature
+	consume := func(f *geom.Feature) { feats = append(feats, *f) }
+	var err error
+	switch src.DataFormat() {
+	case GeoJSON:
+		_, _, _, err = e.runGeoJSONWith(ctx, data, &geojson.Config{PropKeys: opt.PropKeys}, opt,
+			func(f geojson.FeatureOut) { feats = append(feats, f.Feature) })
+	case WKT:
+		_, err = e.runWKT(ctx, data, opt, consume)
+	case OSMXML:
+		_, err = e.runOSM(ctx, data, opt, consume)
+	default:
+		err = fmt.Errorf("atgis: unsupported format %v", src.DataFormat())
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(feats, func(i, j int) bool { return feats[i].Offset < feats[j].Offset })
+	return feats, nil
+}
+
+// runGeoJSONWith executes the GeoJSON pipeline (FAT or PAT per opt.Mode)
+// with an explicit extraction config, streaming features into sink. It
+// returns the pipeline stats plus the repaired (PAT) and reprocessed
+// (FAT) block counts. The query path and the join partition pass share
+// this one pipeline assembly.
+func (e *Engine) runGeoJSONWith(ctx context.Context, data []byte, cfg *geojson.Config, opt Options, sink func(geojson.FeatureOut)) (pipeline.Stats, int, int, error) {
+	if opt.Mode == FAT {
+		fold := geojson.NewFold(data, cfg, sink)
+		st, err := pipeline.RunCtx(ctx, data,
+			pipeline.FixedSplitter{BlockSize: opt.blockSize()},
+			e.exec(opt),
+			func(b pipeline.Block) geojson.BlockResult {
+				return geojson.ProcessBlockFAT(data, b.Start, b.End, cfg)
+			},
+			func(b pipeline.Block, r geojson.BlockResult) { fold.Add(r) },
+		)
+		if err != nil {
+			return st, 0, fold.Reprocessed, err
+		}
+		return st, 0, fold.Reprocessed, fold.Finish()
+	}
+	// PAT: boundary-searching splitter plus optimised per-block parser.
+	// The boundary scan streams cuts so block parsing starts while the
+	// scan is still running.
+	fold := geojson.NewPATFold(data, cfg, sink)
+	headerDone := false
+	st, err := pipeline.RunCtx(ctx, data,
+		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
+			geojson.FindFeatureBoundariesStream(input, opt.blockSize(), yield)
+		}),
+		e.exec(opt),
+		func(b pipeline.Block) *geojson.PATBlockResult {
+			if b.Index == 0 {
+				return nil // header handled by the fold
+			}
+			r := geojson.ProcessBlockPAT(data, b.Start, b.End, cfg)
+			return &r
+		},
+		func(b pipeline.Block, r *geojson.PATBlockResult) {
+			if r == nil {
+				fold.Header(b.End)
+				headerDone = true
+				return
+			}
+			if !headerDone {
+				fold.Header(0)
+				headerDone = true
+			}
+			fold.Add(*r)
+		},
+	)
+	if err != nil {
+		return st, fold.Repaired, 0, err
+	}
+	return st, fold.Repaired, 0, fold.Finish(int64(len(data)))
+}
+
+func (e *Engine) runWKT(ctx context.Context, data []byte, opt Options, consume func(*geom.Feature)) (pipeline.Stats, error) {
+	type frag struct {
+		feats []geom.Feature
+		err   error
+	}
+	var firstErr error
+	st, err := pipeline.RunCtx(ctx, data,
+		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
+			wkt.SplitLinesStream(input, opt.blockSize(), yield)
+		}),
+		e.exec(opt),
+		func(b pipeline.Block) frag {
+			var fr frag
+			fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {
+				f, err := wkt.ParseLine(line, off)
+				if err != nil {
+					return err
+				}
+				fr.feats = append(fr.feats, f)
+				return nil
+			})
+			return fr
+		},
+		func(b pipeline.Block, fr frag) {
+			if fr.err != nil && firstErr == nil {
+				firstErr = fr.err
+			}
+			for i := range fr.feats {
+				consume(&fr.feats[i])
+			}
+		},
+	)
+	if err != nil {
+		return st, err
+	}
+	return st, firstErr
+}
+
+// runOSM executes the multi-pass OSM XML pipeline: pass 1 builds the
+// node table and collects ways/relations in parallel; pass 2 assembles
+// geometries and evaluates the query.
+func (e *Engine) runOSM(ctx context.Context, data []byte, opt Options, consume func(*geom.Feature)) (pipeline.Stats, error) {
+	nodes := osmxml.NewNodeTable()
+	wayTab := osmxml.NewWayTable()
+	type frag struct {
+		ways []*osmxml.Way
+		rels []*osmxml.Relation
+		err  error
+	}
+	var firstErr error
+	var allWays []*osmxml.Way
+	var allRels []*osmxml.Relation
+	st, err := pipeline.RunCtx(ctx, data,
+		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
+			osmxml.SplitElementsStream(input, opt.blockSize(), yield)
+		}),
+		e.exec(opt),
+		func(b pipeline.Block) frag {
+			var fr frag
+			fr.err = osmxml.ParseBlock(data, b.Start, b.End, &osmxml.Handler{
+				OnNode: nodes.Put,
+				OnWay:  func(w *osmxml.Way) { fr.ways = append(fr.ways, w) },
+				OnRelation: func(r *osmxml.Relation) {
+					fr.rels = append(fr.rels, r)
+				},
+			})
+			return fr
+		},
+		func(b pipeline.Block, fr frag) {
+			if fr.err != nil && firstErr == nil {
+				firstErr = fr.err
+			}
+			allWays = append(allWays, fr.ways...)
+			allRels = append(allRels, fr.rels...)
+		},
+	)
+	if err != nil {
+		return st, err
+	}
+	if firstErr != nil {
+		return st, firstErr
+	}
+	for _, w := range allWays {
+		wayTab.Put(w)
+	}
+	// Pass 2: assemble + evaluate. Ways referenced by multipolygon
+	// relations are consumed by the relation, not emitted standalone.
+	inRelation := make(map[int64]bool)
+	for _, r := range allRels {
+		for _, m := range r.Members {
+			if m.Type == "way" {
+				inRelation[m.Ref] = true
+			}
+		}
+	}
+	for i, w := range allWays {
+		if i&1023 == 0 && ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		if inRelation[w.ID] {
+			continue
+		}
+		g, err := osmxml.AssembleWay(w, nodes)
+		if err != nil {
+			return st, err
+		}
+		f := geom.Feature{ID: w.ID, Geom: g, Offset: w.Off}
+		consume(&f)
+	}
+	for i, r := range allRels {
+		if i&1023 == 0 && ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		g, err := osmxml.AssembleRelation(r, wayTab, nodes)
+		if err != nil {
+			return st, err
+		}
+		f := geom.Feature{ID: r.ID, Geom: g, Offset: r.Off}
+		consume(&f)
+	}
+	return st, nil
+}
+
+// Join executes the two-pass PBSM join (Fig. 6 then Fig. 8) over src,
+// buffering the full pair set; JoinStream is the iterator form.
+func (e *Engine) Join(ctx context.Context, src Source, spec JoinSpec, opt Options) (*JoinResult, error) {
+	jr, _, err := e.join(ctx, src, spec, opt)
+	return jr, err
+}
+
+// join is Join plus the reparser it built, so callers that keep
+// re-parsing joined objects (Combined's union aggregate) reuse it —
+// for OSM XML the reparser costs a full parallel pass to build.
+func (e *Engine) join(ctx context.Context, src Source, spec JoinSpec, opt Options) (*JoinResult, join.Reparser, error) {
+	if err := e.check(); err != nil {
+		return nil, nil, err
+	}
+	opt = e.opts(opt)
+	merged, extent, stats, err := e.joinPartitionPhase(ctx, src, &spec, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	reparse, err := e.reparser(ctx, src, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, jstats, err := join.Run(merged.Sets[0], merged.Sets[1], e.joinConfig(ctx, &spec, opt, reparse))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &JoinResult{
+		Pairs:          pairs,
+		PartitionStats: stats,
+		JoinStats:      jstats,
+		Extent:         extent,
+	}, reparse, nil
+}
+
+// joinConfig assembles the join sweep configuration. Engines with a
+// shared pool run the sweep workers on pool slots (via Config.Go), so
+// concurrent joins and queries contend for the same bounded worker set
+// instead of spawning refinement goroutines per call; a streaming-join
+// consumer that stalls without calling Close therefore withholds its
+// workers from the pool.
+func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, reparse join.Reparser) join.Config {
+	cfg := join.Config{
+		Ctx:           ctx,
+		Predicate:     spec.Predicate,
+		ReparseA:      reparse,
+		ReparseB:      reparse,
+		Workers:       opt.workers(),
+		SortThreshold: spec.SortThreshold,
+	}
+	if e != nil && e.pool != nil {
+		cfg.Workers = e.pool.Size()
+		cfg.Go = func(f func()) bool { return e.pool.SubmitCtx(ctx, f) }
+	}
+	return cfg
+}
+
+// joinPartitionPhase runs the first join pass: the parallel bounding
+// pipeline plus spatial partition insertion, returning the merged
+// partition sink.
+func (e *Engine) joinPartitionPhase(ctx context.Context, src Source, spec *JoinSpec, opt Options) (*query.PartitionSink, geom.Box, pipeline.Stats, error) {
+	if spec.Predicate == nil {
+		spec.Predicate = geom.Intersects
+	}
+	if spec.CellSize <= 0 {
+		spec.CellSize = 1
+	}
+	// Geographic datasets use the world extent for the partition grid
+	// (paper §5.6 sizes partitions in degrees).
+	extent := geom.Box{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+	grid := partition.NewGrid(extent, spec.CellSize)
+
+	mask := spec.Mask
+	if mask == nil {
+		mask = func(*geom.Feature) uint8 { return query.SideA | query.SideB }
+	}
+	merged := query.NewPartitionSink(grid, spec.Store, mask)
+
+	processFeature := func(fr *fragOf, f *geom.Feature) {
+		if spec.SeparatePartitionPhase {
+			fr.feats = append(fr.feats, geom.Feature{
+				ID: f.ID, Offset: f.Offset,
+				Geom: boundsOnly(f.Geom),
+			})
+			return
+		}
+		fr.sink.Consume(f)
+	}
+
+	var firstErr error
+	stats, err := e.partitionPass(ctx, src, opt, processFeature, func(fr *fragOf) {
+		if fr.err != nil && firstErr == nil {
+			firstErr = fr.err
+			return
+		}
+		if spec.SeparatePartitionPhase {
+			for i := range fr.feats {
+				merged.Consume(&fr.feats[i])
+			}
+			return
+		}
+		if err := merged.Merge(fr.sink); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}, func() *fragOf {
+		fr := &fragOf{}
+		if !spec.SeparatePartitionPhase {
+			fr.sink = query.NewPartitionSink(grid, spec.Store, mask)
+		}
+		return fr
+	})
+	if err == nil {
+		err = firstErr
+	}
+	if err != nil {
+		return nil, extent, stats, err
+	}
+	return merged, extent, stats, nil
+}
+
+// boundsOnly replaces a geometry by its MBR polygon (partition pass only
+// needs bounds; keeps the separate-phase buffers small).
+func boundsOnly(g geom.Geometry) geom.Geometry {
+	if g == nil {
+		return nil
+	}
+	return g.Bound().AsPolygon()
+}
+
+// fragOf is the per-block fragment of the join's partition pipeline.
+type fragOf struct {
+	sink  *query.PartitionSink
+	feats []geom.Feature // separate-phase mode buffers bounds only
+	err   error
+}
+
+// partitionPass runs the first (partition/bounding) pipeline for joins.
+func (e *Engine) partitionPass(
+	ctx context.Context,
+	src Source,
+	opt Options,
+	processFeature func(fr *fragOf, f *geom.Feature),
+	foldFrag func(fr *fragOf),
+	newFrag func() *fragOf,
+) (pipeline.Stats, error) {
+	data := src.Bytes()
+	switch src.DataFormat() {
+	case GeoJSON:
+		// Same PAT/FAT pipeline as queries, minus the fused Eval.
+		foldSink := newFrag()
+		st, _, _, err := e.runGeoJSONWith(
+			ctx, data, &geojson.Config{PropKeys: opt.PropKeys}, opt,
+			func(f geojson.FeatureOut) { processFeature(foldSink, &f.Feature) },
+		)
+		if err != nil {
+			return st, err
+		}
+		foldFrag(foldSink)
+		return st, nil
+	case WKT:
+		return pipeline.RunCtx(ctx, data,
+			pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
+				wkt.SplitLinesStream(input, opt.blockSize(), yield)
+			}),
+			e.exec(opt),
+			func(b pipeline.Block) *fragOf {
+				fr := newFrag()
+				fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {
+					f, err := wkt.ParseLine(line, off)
+					if err != nil {
+						return err
+					}
+					processFeature(fr, &f)
+					return nil
+				})
+				return fr
+			},
+			func(b pipeline.Block, fr *fragOf) { foldFrag(fr) },
+		)
+	default:
+		fr := newFrag()
+		st, err := e.runOSM(ctx, data, opt, func(f *geom.Feature) { processFeature(fr, f) })
+		if err != nil {
+			return st, err
+		}
+		foldFrag(fr)
+		return st, nil
+	}
+}
+
+// Combined executes the combined query of Table 3: the perimeter filters
+// compile into the partition pipeline's side mask (an object may satisfy
+// both and join with itself excluded), the join refines with
+// ST_Intersects, and the per-pair ST_Union area aggregation runs over
+// the joined stream.
+func (e *Engine) Combined(ctx context.Context, src Source, spec CombinedSpec, opt Options) (*CombinedResult, error) {
+	if err := e.check(); err != nil {
+		return nil, err
+	}
+	if spec.CellSize <= 0 {
+		spec.CellSize = 1
+	}
+	mask := func(f *geom.Feature) uint8 {
+		p := geom.Perimeter(f.Geom, spec.Dist)
+		var m uint8
+		if p > spec.T1 {
+			m |= query.SideA
+		}
+		if p < spec.T2 {
+			m |= query.SideB
+		}
+		return m
+	}
+	jr, reparse, err := e.join(ctx, src, JoinSpec{Mask: mask, CellSize: spec.CellSize}, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &CombinedResult{JoinResult: jr}
+	for i, p := range jr.Pairs {
+		if i&255 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if p.AOff == p.BOff {
+			continue // an object satisfying both filters joins others, not itself
+		}
+		ga, err := reparse(p.AOff)
+		if err != nil {
+			return nil, err
+		}
+		gb, err := reparse(p.BOff)
+		if err != nil {
+			return nil, err
+		}
+		pa, okA := asPolygon(ga)
+		pb, okB := asPolygon(gb)
+		if !okA || !okB {
+			continue // union aggregation defined on areal operands
+		}
+		out.Pairs++
+		out.SumUnionArea += geom.SphericalArea(geom.PolyUnion(pa, pb))
+	}
+	return out, nil
+}
+
+// asPolygon extracts a polygon operand for the union aggregate.
+func asPolygon(g geom.Geometry) (geom.Polygon, bool) {
+	switch t := g.(type) {
+	case geom.Polygon:
+		return t, true
+	case geom.MultiPolygon:
+		if len(t) > 0 {
+			return t[0], true
+		}
+	}
+	return nil, false
+}
+
+// reparser returns the offset-based geometry re-parser for joins
+// (paper §4.5: partitions store offsets, objects re-parse on demand).
+func (e *Engine) reparser(ctx context.Context, src Source, opt Options) (join.Reparser, error) {
+	data := src.Bytes()
+	switch src.DataFormat() {
+	case WKT:
+		return func(off int64) (geom.Geometry, error) {
+			end := off
+			for end < int64(len(data)) && data[end] != '\n' {
+				end++
+			}
+			f, err := wkt.ParseLine(data[off:end], off)
+			if err != nil {
+				return nil, err
+			}
+			return f.Geom, nil
+		}, nil
+	case GeoJSON:
+		return func(off int64) (geom.Geometry, error) {
+			return geojson.ReparseFeature(data, off)
+		}, nil
+	case OSMXML:
+		// OSM XML cannot re-parse a single element in isolation (point
+		// data lives in the node table, paper §5.3's random-access
+		// penalty). Build an offset-keyed geometry table once.
+		table := make(map[int64]geom.Geometry)
+		_, err := e.runOSM(ctx, data, opt, func(f *geom.Feature) { table[f.Offset] = f.Geom })
+		if err != nil {
+			return nil, err
+		}
+		return func(off int64) (geom.Geometry, error) {
+			g, ok := table[off]
+			if !ok {
+				return nil, fmt.Errorf("atgis: no OSM object at offset %d", off)
+			}
+			return g, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("atgis: unsupported join format %v", src.DataFormat())
+	}
+}

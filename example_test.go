@@ -1,0 +1,137 @@
+package atgis_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"atgis"
+	"atgis/internal/geom"
+	"atgis/internal/query"
+)
+
+// A minimal FeatureCollection used by the runnable examples.
+const exampleGeoJSON = `{"type":"FeatureCollection","features":[
+ {"type":"Feature","id":1,"geometry":{"type":"Polygon","coordinates":[[[0,0],[10,0],[10,10],[0,10],[0,0]]]}},
+ {"type":"Feature","id":2,"geometry":{"type":"Polygon","coordinates":[[[40,40],[50,40],[50,50],[40,50],[40,40]]]}},
+ {"type":"Feature","id":3,"geometry":{"type":"Point","coordinates":[5,5]}}
+]}`
+
+// ExampleOpenMapped memory-maps a file and runs one aggregation pass
+// over it.
+func ExampleOpenMapped() {
+	path := filepath.Join(os.TempDir(), "atgis-example.geojson")
+	if err := os.WriteFile(path, []byte(exampleGeoJSON), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+
+	src, err := atgis.OpenMapped(path, atgis.AutoDetect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+
+	eng := atgis.NewEngine(atgis.EngineConfig{})
+	defer eng.Close()
+
+	res, err := eng.Query(context.Background(), src, &query.Spec{
+		Kind: query.Containment,
+		Ref:  geom.Box{MinX: -1, MinY: -1, MaxX: 20, MaxY: 20}.AsPolygon(),
+		Pred: query.PredIntersects,
+	}, atgis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: matched %d of %d\n", src.DataFormat(), res.Res.Count, res.Res.Scanned)
+	// Output: geojson: matched 2 of 3
+}
+
+// ExampleEngine_Prepare compiles a query once and executes it multiple
+// times, with context cancellation available per execution.
+func ExampleEngine_Prepare() {
+	src, err := atgis.FromBytes([]byte(exampleGeoJSON), atgis.AutoDetect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := atgis.NewEngine(atgis.EngineConfig{Workers: 2})
+	defer eng.Close()
+
+	pq, err := eng.Prepare(&query.Spec{
+		Kind:     query.Aggregation,
+		Ref:      geom.Box{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}.AsPolygon(),
+		Pred:     query.PredIntersects,
+		WantArea: true,
+	}, atgis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		res, err := pq.Execute(context.Background(), src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: scanned %d, matched %d\n", run, res.Res.Scanned, res.Res.Count)
+	}
+	// Output:
+	// run 0: scanned 3, matched 3
+	// run 1: scanned 3, matched 3
+}
+
+// ExamplePreparedQuery_Stream iterates matching features as the parallel
+// pass produces them instead of buffering the result set.
+func ExamplePreparedQuery_Stream() {
+	src, err := atgis.FromBytes([]byte(
+		"1\tPOLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))\n"+
+			"2\tPOINT (60 60)\n"+
+			"3\tPOLYGON ((1 1, 6 1, 6 6, 1 6, 1 1))\n"), atgis.WKT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := atgis.NewEngine(atgis.EngineConfig{})
+	defer eng.Close()
+
+	pq, err := eng.Prepare(&query.Spec{
+		Kind: query.Containment,
+		Ref:  geom.Box{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}.AsPolygon(),
+		Pred: query.PredIntersects,
+	}, atgis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := pq.Stream(context.Background(), src)
+	for res.Next() {
+		fmt.Printf("match id=%d\n", res.Feature().ID)
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scanned %d\n", sum.Res.Scanned)
+	// Output:
+	// match id=1
+	// match id=3
+	// scanned 3
+}
+
+// ExampleReaderSource buffers piped input that cannot be memory-mapped.
+func ExampleReaderSource() {
+	pipe, w, err := os.Pipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		w.WriteString("POINT (1 2)\nPOINT (3 4)\n") // bare WKT auto-detects
+		w.Close()
+	}()
+	src, err := atgis.ReaderSource(pipe, atgis.AutoDetect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	fmt.Println(src.DataFormat())
+	// Output: wkt
+}

@@ -5,11 +5,14 @@
 //
 // The example simulates a segmented slide (dense small polygons on a
 // planar pixel grid), then screens several regions of interest for
-// anomalously large cells.
+// anomalously large cells. One containment query is compiled per ROI and
+// its matches are *streamed*: the anomaly screen runs while the parallel
+// pass is still scanning the slide, and nothing buffers.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -50,46 +53,52 @@ func writeSlide(n int, seed int64) []byte {
 
 func main() {
 	slide := writeSlide(20000, 4)
-	ds, err := atgis.FromBytes(slide, atgis.GeoJSON)
+	src, err := atgis.FromBytes(slide, atgis.GeoJSON)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("segmented slide: %.1f MB, 20000 cell polygons\n\n", float64(len(slide))/(1<<20))
 
-	// Screen three regions of interest. Planar coordinates: areas are in
-	// pixel² via the planar evaluator (we aggregate MBRs and counts; the
-	// anomaly score uses the per-cell bounding boxes).
+	eng := atgis.NewEngine(atgis.EngineConfig{BlockSize: 256 << 10})
+	defer eng.Close()
+
+	// Screen three regions of interest. Planar coordinates: the anomaly
+	// score uses the per-cell bounding boxes, read off the match stream.
 	rois := []geom.Box{
 		{MinX: 1000, MinY: 1000, MaxX: 3000, MaxY: 3000},
 		{MinX: 4000, MinY: 4000, MaxX: 6000, MaxY: 6000},
 		{MinX: 7000, MinY: 2000, MaxX: 9500, MaxY: 5000},
 	}
 	for i, roi := range rois {
-		spec := &query.Spec{
-			Kind:        query.Containment,
-			Ref:         roi.AsPolygon(),
-			Pred:        query.PredIntersects,
-			KeepMatches: true,
-		}
-		res, err := ds.Query(spec, atgis.Options{Mode: atgis.FAT, BlockSize: 256 << 10})
+		pq, err := eng.Prepare(&query.Spec{
+			Kind: query.Containment,
+			Ref:  roi.AsPolygon(),
+			Pred: query.PredIntersects,
+		}, atgis.Options{Mode: atgis.FAT})
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Anomaly screen: cells whose MBR diagonal exceeds a threshold.
-		anomalies := 0
+		// Anomaly screen over the match stream: cells whose MBR diagonal
+		// exceeds a threshold, scored as matches arrive.
+		res := pq.Stream(context.Background(), src)
+		cells, anomalies := 0, 0
 		var largest float64
-		for _, m := range res.Res.Matches {
-			dx := m.Box.MaxX - m.Box.MinX
-			dy := m.Box.MaxY - m.Box.MinY
-			d := math.Hypot(dx, dy)
+		for res.Next() {
+			b := res.Feature().Geom.Bound()
+			d := math.Hypot(b.MaxX-b.MinX, b.MaxY-b.MinY)
 			if d > 25 {
 				anomalies++
 			}
 			if d > largest {
 				largest = d
 			}
+			cells++
+		}
+		sum, err := res.Summary()
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("ROI %d: %5d cells, %3d anomalously large (max diameter %.1f px), %.1f MB/s\n",
-			i+1, res.Res.Count, anomalies, largest, res.Stats.ThroughputMBs())
+			i+1, cells, anomalies, largest, sum.Stats.ThroughputMBs())
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,24 +40,35 @@ func main() {
 		fmt.Println("generated", path)
 	}
 
-	// Open reads the raw file; no parsing happens yet.
-	ds, err := atgis.Open(path)
+	// OpenMapped memory-maps the raw file; no parsing (and no copying)
+	// happens yet — the kernel pages bytes in as queries touch them.
+	src, err := atgis.OpenMapped(path, atgis.AutoDetect)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("dataset: %s, %.1f MB\n", ds.Format, float64(len(ds.Data))/(1<<20))
+	defer src.Close()
+	fmt.Printf("dataset: %s, %.1f MB\n", src.DataFormat(), float64(len(src.Bytes()))/(1<<20))
 
-	// One query = one parallel pass over the raw bytes: parsing,
-	// filtering and aggregation fused into a single pipeline.
+	// The engine owns the worker pool; one engine serves any number of
+	// concurrent queries over any number of open sources.
+	eng := atgis.NewEngine(atgis.EngineConfig{})
+	defer eng.Close()
+
+	// A query compiles once and executes in one parallel pass over the
+	// raw bytes: parsing, filtering and aggregation fused into a single
+	// pipeline. The context cancels mid-pass if the caller goes away.
 	region := geom.Box{MinX: -90, MinY: -45, MaxX: 90, MaxY: 45}
-	spec := &query.Spec{
+	pq, err := eng.Prepare(&query.Spec{
 		Kind:     query.Aggregation,
 		Ref:      region.AsPolygon(),
 		Pred:     query.PredIntersects,
 		Dist:     geom.Haversine,
 		WantArea: true, WantPerimeter: true, WantMBR: true,
+	}, atgis.Options{})
+	if err != nil {
+		log.Fatal(err)
 	}
-	res, err := ds.Query(spec, atgis.Options{})
+	res, err := pq.Execute(context.Background(), src)
 	if err != nil {
 		log.Fatal(err)
 	}

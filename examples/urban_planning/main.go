@@ -4,11 +4,13 @@
 //
 // The example generates a fresh "city snapshot" (buildings as polygons
 // with zoning metadata), then immediately answers three planning
-// questions without any loading phase, comparing FAT and PAT execution.
+// questions on one shared engine without any loading phase, comparing
+// FAT and PAT execution.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,34 +33,45 @@ func main() {
 	if err := g.WriteGeoJSON(&buf); err != nil {
 		log.Fatal(err)
 	}
-	ds, err := atgis.FromBytes(buf.Bytes(), atgis.GeoJSON)
+	src, err := atgis.FromBytes(buf.Bytes(), atgis.GeoJSON)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("snapshot received: %.1f MB of GeoJSON\n\n", float64(len(ds.Data))/(1<<20))
+	fmt.Printf("snapshot received: %.1f MB of GeoJSON\n\n", float64(len(src.Bytes()))/(1<<20))
+
+	eng := atgis.NewEngine(atgis.EngineConfig{})
+	defer eng.Close()
+	ctx := context.Background()
 
 	// Question 1: how many structures fall inside the proposed
-	// development corridor?
+	// development corridor? Matches stream in while the pass runs.
 	corridor := geom.Box{MinX: -10, MinY: -10, MaxX: 30, MaxY: 10}
 	t0 := time.Now()
-	contain, err := ds.Query(&query.Spec{
-		Kind:        query.Containment,
-		Ref:         corridor.AsPolygon(),
-		Pred:        query.PredIntersects,
-		KeepMatches: true,
+	q1, err := eng.Prepare(&query.Spec{
+		Kind: query.Containment,
+		Ref:  corridor.AsPolygon(),
+		Pred: query.PredIntersects,
 	}, atgis.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	matches := q1.Stream(ctx, src)
+	structures := 0
+	for matches.Next() {
+		structures++
+	}
+	if err := matches.Err(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Q1 containment: %d structures intersect the corridor (%.0f ms, data-to-query %.0f ms)\n",
-		contain.Res.Count,
+		structures,
 		float64(time.Since(t0).Microseconds())/1000,
 		float64(time.Since(t0).Microseconds())/1000)
 
 	// Question 2: total footprint area and boundary length inside the
 	// corridor — an aggregation query in the same single pass.
 	t1 := time.Now()
-	agg, err := ds.Query(&query.Spec{
+	agg, err := eng.Query(ctx, src, &query.Spec{
 		Kind:     query.Aggregation,
 		Ref:      corridor.AsPolygon(),
 		Pred:     query.PredIntersects,
@@ -76,7 +89,7 @@ func main() {
 	// Question 3: same aggregation under fully-associative execution —
 	// identical answers from arbitrary byte splits.
 	t2 := time.Now()
-	fat, err := ds.Query(&query.Spec{
+	fat, err := eng.Query(ctx, src, &query.Spec{
 		Kind:     query.Aggregation,
 		Ref:      corridor.AsPolygon(),
 		Pred:     query.PredIntersects,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"atgis"
@@ -107,6 +108,29 @@ func Micro(cfg Config) []MicroResult {
 	gj := microDataset(cfg, atgis.GeoJSON, queryN)
 	queryBench("Fig9aContainment/PAT", gj, qspec(), atgis.PAT)
 	queryBench("Fig9aContainment/FAT", gj, qspec(), atgis.FAT)
+
+	// The same containment pass through the layered API: shared engine
+	// pool + query compiled once + per-run context. Tracks the redesign's
+	// overhead relative to the legacy Dataset path above.
+	engineBench := func(name string, mode atgis.Mode) {
+		eng := atgis.NewEngine(atgis.EngineConfig{Workers: cfg.MaxWorkers})
+		defer eng.Close()
+		pq, err := eng.Prepare(qspec(), atgis.Options{Mode: mode, BlockSize: 64 << 10})
+		if err != nil {
+			panic(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pq.Execute(context.Background(), gj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, microResult(name, int64(len(gj.Data)), r))
+	}
+	engineBench("EnginePrepared/PAT", atgis.PAT)
+	engineBench("EnginePrepared/FAT", atgis.FAT)
 
 	fm := microDataset(cfg, atgis.GeoJSON, formatN)
 	queryBench("Fig12Formats/GeoJSON-PAT", fm, aspec(), atgis.PAT)

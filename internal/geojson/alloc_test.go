@@ -49,28 +49,68 @@ func TestProcessBlockPATAllocBudget(t *testing.T) {
 	}
 }
 
-// TestProcessBlockFATAllocBudget bounds speculative block processing:
-// three lexer variants plus spec tapes cost more than PAT, but the
-// budget still catches a return to per-token garbage.
+// TestProcessBlockFATAllocBudget bounds speculative block processing.
+// With the machine shell, spec tapes, feature buffers and frame copies
+// all recycling through pools (machinePool + specStatePool), the steady
+// state allocates only the escaping feature data, like PAT blocks; the
+// budget catches a return to per-block machine or tape allocation.
 func TestProcessBlockFATAllocBudget(t *testing.T) {
 	doc, n := allocDoc(t)
 	cfg := &Config{}
-	ProcessBlockFAT(doc, 0, int64(len(doc)), cfg)
+	ProcessBlockFAT(doc, 0, int64(len(doc)), cfg).Release()
 
 	var got int
 	allocs := testing.AllocsPerRun(20, func() {
 		r := ProcessBlockFAT(doc, 0, int64(len(doc)), cfg)
 		for _, v := range r.Variants {
-			if len(v.M.Features()) > got {
-				got = len(v.M.Features())
+			if len(v.Features()) > got {
+				got = len(v.Features())
 			}
 		}
+		r.Release()
 	})
 	if got != n {
 		t.Fatalf("features = %d, want %d", got, n)
 	}
 	perFeature := allocs / float64(n)
-	if perFeature > 24 {
-		t.Errorf("ProcessBlockFAT allocates %.1f/op = %.2f per feature, budget 24", allocs, perFeature)
+	if perFeature > 10 {
+		t.Errorf("ProcessBlockFAT allocates %.1f/op = %.2f per feature, budget 10", allocs, perFeature)
+	}
+}
+
+// TestFATFoldAllocBudget measures the whole FAT steady state — block
+// processing plus ordered merge — and implicitly that Fold.Add recycles
+// the detached variant states (a leak would show up as pool misses and
+// fresh tape/feature-buffer allocations every block).
+func TestFATFoldAllocBudget(t *testing.T) {
+	doc, n := allocDoc(t)
+	cfg := &Config{}
+	run := func() int {
+		emitted := 0
+		fold := NewFold(doc, cfg, func(FeatureOut) { emitted++ })
+		step := int64(len(doc) / 7)
+		prev := int64(0)
+		for prev < int64(len(doc)) {
+			end := prev + step
+			if end > int64(len(doc)) {
+				end = int64(len(doc))
+			}
+			fold.Add(ProcessBlockFAT(doc, prev, end, cfg))
+			prev = end
+		}
+		if err := fold.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return emitted
+	}
+	run() // warm the pools
+	var got int
+	allocs := testing.AllocsPerRun(20, func() { got = run() })
+	if got != n {
+		t.Fatalf("features = %d, want %d", got, n)
+	}
+	perFeature := allocs / float64(n)
+	if perFeature > 16 {
+		t.Errorf("FAT process+merge allocates %.1f/op = %.2f per feature, budget 16", allocs, perFeature)
 	}
 }

@@ -11,14 +11,20 @@ import (
 // BlockVariant is the result of fully-associative extraction over one
 // block under one family of speculated lexer start states.
 type BlockVariant struct {
-	// LexStarts lists the lexer start states covered by this variant.
-	LexStarts []at.State
 	// LexEnd is the lexer finishing state.
 	LexEnd at.State
-	// M is the speculative machine state at block end: deferred spec
-	// tape, buffered features and open local frames.
-	M *Machine
+	// state is the detached machine payload at block end: lexer start
+	// states, deferred spec tape, buffered features and open local
+	// frames. It is pooled; the fold releases it after merging.
+	state *specState
 }
+
+// LexStarts lists the lexer start states covered by this variant.
+func (v BlockVariant) LexStarts() []at.State { return v.state.lexStarts }
+
+// Features returns the features extracted under this variant's
+// speculation (valid until the block is released).
+func (v BlockVariant) Features() []FeatureOut { return v.state.features }
 
 // BlockResult is the fully-associative fragment of one input block: the
 // composite of the lexer FST fragment and the downstream extraction
@@ -31,15 +37,17 @@ type BlockResult struct {
 
 // ProcessBlockFAT runs the full fully-associative pipeline over one block
 // of input: speculative lexing from every start state, then extraction
-// per surviving lexer variant. Lexer token buffers are pooled and reused
-// across blocks; the machines (whose spec tapes and buffered features
-// travel to the ordered merge) are per-block.
+// per surviving lexer variant. Lexer token buffers and the extraction
+// machine are pooled and reused across blocks; only the per-variant
+// payload that must travel to the ordered merge (spec tape, buffered
+// features, open frames) is detached into pooled state objects.
 func ProcessBlockFAT(input []byte, start, end int64, cfg *Config) BlockResult {
 	spec := lexer.AcquireSpeculator()
 	lexVariants := spec.Lex(input[start:end], start)
 	out := BlockResult{Start: start, End: end, Variants: make([]BlockVariant, 0, len(lexVariants))}
+	m := acquireSpecMachine(input, cfg)
 	for _, lv := range lexVariants {
-		m := NewSpeculativeMachine(input, cfg, start)
+		m.resetSpecRun(start)
 		if lv.Starts[0] != lexer.JSONDefault {
 			// Starting mid-string: content before the first StrEnd token
 			// is string payload, never a primitive gap.
@@ -48,22 +56,31 @@ func ProcessBlockFAT(input []byte, start, end int64, cfg *Config) BlockResult {
 		for _, tok := range lv.Tokens {
 			m.OnToken(tok)
 		}
-		starts := make([]at.State, len(lv.Starts))
-		copy(starts, lv.Starts)
 		out.Variants = append(out.Variants, BlockVariant{
-			LexStarts: starts,
-			LexEnd:    lv.End,
-			M:         m,
+			LexEnd: lv.End,
+			state:  m.detachState(lv.Starts),
 		})
 	}
+	releaseSpecMachine(m)
 	lexer.ReleaseSpeculator(spec)
 	return out
+}
+
+// Release returns every variant's detached state to the pool. Fold.Add
+// releases merged blocks automatically; only callers consuming raw
+// BlockResults (tests, custom folds) need to call it, and must not touch
+// the variants afterwards.
+func (br BlockResult) Release() {
+	for i := range br.Variants {
+		releaseSpecState(br.Variants[i].state)
+		br.Variants[i].state = nil
+	}
 }
 
 // variantFor selects the block variant valid for lexer start state q.
 func variantFor(br BlockResult, q at.State) (BlockVariant, bool) {
 	for _, v := range br.Variants {
-		for _, s := range v.LexStarts {
+		for _, s := range v.state.lexStarts {
 			if s == q {
 				return v, true
 			}
@@ -110,8 +127,10 @@ func (fd *Fold) Err() error {
 	return fd.m.Err()
 }
 
-// Add merges the next block result (blocks must arrive in input order).
+// Add merges the next block result (blocks must arrive in input order)
+// and recycles the block's detached variant states.
 func (fd *Fold) Add(br BlockResult) {
+	defer br.Release()
 	if fd.err != nil {
 		return
 	}
@@ -129,10 +148,10 @@ func (fd *Fold) Add(br BlockResult) {
 	}
 	// Replay the spec tape, emitting validated features at their skip
 	// markers.
-	feats := v.M.Features()
-	for _, ev := range v.M.Spec() {
+	st := v.state
+	for _, ev := range st.spec {
 		if ev.FeatIdx >= 0 {
-			fd.sink(feats[ev.FeatIdx])
+			fd.sink(st.features[ev.FeatIdx])
 			fd.m.gapStart = ev.EndOff
 			continue
 		}
@@ -140,15 +159,15 @@ func (fd *Fold) Add(br BlockResult) {
 	}
 	// Graft the block's open resolved frames (anchored feature still
 	// open at block end) on top of the replayed context.
-	for _, f := range v.M.frames {
+	for _, f := range st.frames {
 		if f.resolved {
 			fd.m.frames = append(fd.m.frames, f)
 		}
 	}
-	if v.M.tokenCount > 0 {
-		fd.m.gapStart = v.M.gapStart
-		if v.M.strOpen != -2 {
-			fd.m.strOpen = v.M.strOpen
+	if st.tokenCount > 0 {
+		fd.m.gapStart = st.gapStart
+		if st.strOpen != -2 {
+			fd.m.strOpen = st.strOpen
 		}
 	}
 	fd.lex = v.LexEnd
@@ -174,7 +193,7 @@ func (fd *Fold) validate(v BlockVariant) bool {
 		return t != nil && t.resolved && t.sem == semFeatures
 	}
 	var strBegin int64 = -1
-	for _, ev := range v.M.Spec() {
+	for _, ev := range v.state.spec {
 		if ev.FeatIdx >= 0 {
 			if !inFeatures() {
 				return false
@@ -231,7 +250,7 @@ func (fd *Fold) validate(v BlockVariant) bool {
 	}
 	// A still-open anchored feature at block end must also sit in a
 	// features array.
-	for _, f := range v.M.frames {
+	for _, f := range v.state.frames {
 		if f.resolved {
 			if f.sem == semFeature && !inFeatures() {
 				return false

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 
+	"atgis/internal/at"
 	"atgis/internal/geom"
 	"atgis/internal/lexer"
 	"atgis/internal/numparse"
@@ -240,12 +241,6 @@ func NewResolvedMachine(input []byte, cfg *Config, onFeature func(FeatureOut)) *
 	return &Machine{input: input, cfg: cfg, resolved: true, strOpen: -1, onFeature: onFeature}
 }
 
-// NewSpeculativeMachine returns a machine for a FAT block whose base
-// context is unknown.
-func NewSpeculativeMachine(input []byte, cfg *Config, gapStart int64) *Machine {
-	return &Machine{input: input, cfg: cfg, strOpen: -1, gapStart: gapStart}
-}
-
 // machinePool recycles machines (frame stacks and free lists included)
 // across PAT blocks; one machine is checked out per block in flight.
 var machinePool = sync.Pool{New: func() any { return new(Machine) }}
@@ -273,6 +268,86 @@ func acquireMachine(input []byte, cfg *Config, onFeature func(FeatureOut)) *Mach
 func releaseMachine(m *Machine) {
 	m.input, m.cfg, m.onFeature = nil, nil, nil
 	machinePool.Put(m)
+}
+
+// acquireSpecMachine checks a pooled machine out for the speculative
+// (FAT) runs of one block. The machine shell — frame stack, builder free
+// lists, spec/feature accumulation buffers — recycles across blocks;
+// resetSpecRun prepares it for each lexer-start variant and detachState
+// moves the variant's merge-travelling payload out so the shell can be
+// reused immediately.
+func acquireSpecMachine(input []byte, cfg *Config) *Machine {
+	m := machinePool.Get().(*Machine)
+	m.input, m.cfg, m.onFeature = input, cfg, nil
+	m.resolved = false
+	if m.features == nil {
+		m.features = make([]FeatureOut, 0, 8)
+	}
+	return m
+}
+
+// resetSpecRun readies the machine for the next speculative variant.
+func (m *Machine) resetSpecRun(gapStart int64) {
+	m.frames = m.frames[:0]
+	m.gapStart = gapStart
+	m.strOpen = -1
+	m.spec = m.spec[:0]
+	m.features = m.features[:0]
+	m.tokenCount = 0
+	m.err = nil
+	m.anchorPending, m.forceFeature, m.patBase = false, false, false
+}
+
+// releaseSpecMachine returns a speculative machine to the shared pool.
+// Its accumulation buffers hold stale values (cleared lazily by the next
+// resetSpecRun/acquireMachine); drop the feature buffer's contents so
+// emitted geometries do not outlive the block in the pool.
+func releaseSpecMachine(m *Machine) {
+	clear(m.features)
+	m.features = m.features[:0]
+	releaseMachine(m)
+}
+
+// specState is the detached payload of one speculative block variant:
+// everything that must travel to the ordered merge (deferred spec tape,
+// buffered features, open frames, end-of-block scalars), copied out of
+// the machine so the machine shell recycles through the pool like PAT
+// machines do. The states themselves are pooled; the fold releases them
+// once a block is merged.
+type specState struct {
+	lexStarts  []at.State
+	spec       []Event
+	features   []FeatureOut
+	frames     []frame
+	gapStart   int64
+	strOpen    int64
+	tokenCount int
+}
+
+var specStatePool = sync.Pool{New: func() any { return new(specState) }}
+
+// detachState moves the current variant's results into a pooled state,
+// leaving the machine ready for resetSpecRun.
+func (m *Machine) detachState(lexStarts []at.State) *specState {
+	st := specStatePool.Get().(*specState)
+	st.lexStarts = append(st.lexStarts[:0], lexStarts...)
+	st.spec = append(st.spec[:0], m.spec...)
+	st.features = append(st.features[:0], m.features...)
+	st.frames = append(st.frames[:0], m.frames...)
+	st.gapStart, st.strOpen, st.tokenCount = m.gapStart, m.strOpen, m.tokenCount
+	return st
+}
+
+// releaseSpecState recycles a consumed variant state. The feature and
+// frame buffers are cleared so emitted geometries and builder pointers
+// do not leak through the pool.
+func releaseSpecState(st *specState) {
+	if st == nil {
+		return
+	}
+	clear(st.features)
+	clear(st.frames)
+	specStatePool.Put(st)
 }
 
 // Free-list helpers.
@@ -331,12 +406,6 @@ func (m *Machine) releaseFeat(fb *featBuild) {
 
 // Err returns the first structural error encountered.
 func (m *Machine) Err() error { return m.err }
-
-// Features returns the features extracted by a speculative machine.
-func (m *Machine) Features() []FeatureOut { return m.features }
-
-// Spec returns the deferred event tape of a speculative machine.
-func (m *Machine) Spec() []Event { return m.spec }
 
 func (m *Machine) fail(format string, args ...any) {
 	if m.err == nil {

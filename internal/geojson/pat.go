@@ -36,15 +36,16 @@ func ParseSequential(input []byte, cfg *Config, sink func(FeatureOut)) error {
 // is what Fig. 14 measures.
 func FindFeatureBoundaries(input []byte, minGap int) []int64 {
 	var out []int64
-	FindFeatureBoundariesStream(input, minGap, func(cut int64) { out = append(out, cut) })
+	FindFeatureBoundariesStream(input, minGap, func(cut int64) bool { out = append(out, cut); return true })
 	return out
 }
 
 // FindFeatureBoundariesStream yields feature-boundary cut offsets in
 // increasing order as they are found, the incremental form that lets
 // pipeline.Run dispatch PAT blocks while the boundary scan is still
-// running.
-func FindFeatureBoundariesStream(input []byte, minGap int, yieldCut func(int64)) {
+// running. The scan stops early when yieldCut returns false, so a
+// cancelled run does not pay for scanning the rest of the input.
+func FindFeatureBoundariesStream(input []byte, minGap int, yieldCut func(int64) bool) {
 	pat := []byte(`"type"`)
 	pos := 0
 	next := 0 // earliest position for the next accepted boundary
@@ -90,7 +91,9 @@ func FindFeatureBoundariesStream(input []byte, minGap int, yieldCut func(int64))
 		if k < 0 || input[k] != '{' {
 			continue
 		}
-		yieldCut(int64(k))
+		if !yieldCut(int64(k)) {
+			return
+		}
 		next = k + minGap
 	}
 }

@@ -13,6 +13,7 @@
 package join
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -33,6 +34,9 @@ type Reparser func(off int64) (geom.Geometry, error)
 
 // Config controls join execution.
 type Config struct {
+	// Ctx, when non-nil, cancels the join: workers stop between cell
+	// batches and Run/RunStream return the context's error.
+	Ctx context.Context
 	// Predicate refines candidate pairs (ST_Intersects in Table 3).
 	Predicate func(a, b geom.Geometry) bool
 	// ReparseA / ReparseB rebuild geometries by offset.
@@ -46,13 +50,34 @@ type Config struct {
 	CacheSize int
 	// Workers sets the parallelism across partition cells.
 	Workers int
+	// Go, when set, schedules each sweep worker (e.g. onto a shared
+	// bounded pool) and reports whether it was scheduled; nil means a
+	// plain goroutine per worker. A worker that could not be scheduled
+	// (cancellation while waiting for a slot) is simply not started.
+	Go func(f func()) bool
+
+	// refPointDedup suppresses duplicate pairs at the source: a pair is
+	// reported only by the cell containing the reference point (lower-
+	// left corner) of its MBR intersection, so no global sort/dedup pass
+	// is needed. Set by RunStream.
+	refPointDedup bool
+}
+
+func (c Config) done() <-chan struct{} {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Done()
 }
 
 // Stats reports join-phase measurements.
 type Stats struct {
 	Candidates int64 // MBR-intersecting pairs examined
 	Refined    int64 // pairs that passed refinement (before dedup)
-	Duplicates int64 // removed by the final dedup
+	// Duplicates counts repeated pairs removed: by the final sort/dedup
+	// pass (Run) or suppressed up front by the reference-point test
+	// (RunStream).
+	Duplicates int64
 	Reparses   int64 // geometry re-parses performed
 	CacheHits  int64
 }
@@ -63,63 +88,25 @@ type candidate struct {
 	aID, bID   int64
 }
 
-// Run executes the join over two partition sets built on the same grid.
+// Run executes the join over two partition sets built on the same grid,
+// returning the complete, sorted, duplicate-free pair set.
 func Run(a, b *partition.Set, cfg Config) ([]Pair, Stats, error) {
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	cells := a.Grid.NumCells()
-	// Cells are dispatched in ranges so fine grids (hundreds of
-	// thousands of mostly-empty cells) do not pay one channel operation
-	// per cell.
-	const cellBatch = 256
-	cellCh := make(chan [2]int, workers)
-	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var all []Pair
-	var st Stats
-	errCh := make(chan error, workers)
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			local, localStats, err := worker(a, b, cfg, cellCh)
-			if err != nil {
-				select {
-				case errCh <- err:
-				default:
-				}
-				// Drain remaining cells so the feeder never blocks.
-				for range cellCh {
-				}
-				return
-			}
+	st, err := run(a, b, cfg, func() (func(Pair), func()) {
+		// Worker-local buffer, merged once per worker: the terminal
+		// sort needs the full set anyway.
+		var local []Pair
+		emit := func(p Pair) { local = append(local, p) }
+		finish := func() {
 			mu.Lock()
 			all = append(all, local...)
-			st.Candidates += localStats.Candidates
-			st.Refined += localStats.Refined
-			st.Reparses += localStats.Reparses
-			st.CacheHits += localStats.CacheHits
 			mu.Unlock()
-		}()
-	}
-	go func() {
-		for c := 0; c < cells; c += cellBatch {
-			end := c + cellBatch
-			if end > cells {
-				end = cells
-			}
-			cellCh <- [2]int{c, end}
 		}
-		close(cellCh)
-	}()
-	wg.Wait()
-	select {
-	case err := <-errCh:
+		return emit, finish
+	})
+	if err != nil {
 		return nil, st, err
-	default:
 	}
 
 	// Duplicate elimination: objects in several cells produce repeated
@@ -141,23 +128,125 @@ func Run(a, b *partition.Set, cfg Config) ([]Pair, Stats, error) {
 	return out, st, nil
 }
 
-// worker processes partition cell ranges from cellCh.
-func worker(a, b *partition.Set, cfg Config, cellCh <-chan [2]int) ([]Pair, Stats, error) {
-	var out []Pair
+// RunStream executes the join, calling emit for every joined pair as it
+// is found instead of buffering the pair set: pairs reach emit straight
+// from each cell's refinement loop. Duplicates are suppressed at the
+// source with the reference-point method (a pair is reported only by
+// the cell owning the lower-left corner of its MBR intersection), so
+// the stream needs no global sort; pair order is nondeterministic. emit
+// is called from multiple worker goroutines concurrently.
+func RunStream(a, b *partition.Set, cfg Config, emit func(Pair)) (Stats, error) {
+	cfg.refPointDedup = true
+	return run(a, b, cfg, func() (func(Pair), func()) {
+		return emit, func() {}
+	})
+}
+
+// run is the shared parallel cell sweep: workers process cell ranges
+// and report pairs through a per-worker emit obtained from newEmit
+// (finish runs when that worker drains, before its stats merge).
+func run(a, b *partition.Set, cfg Config, newEmit func() (emit func(Pair), finish func())) (Stats, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cells := a.Grid.NumCells()
+	// Cells are dispatched in ranges so fine grids (hundreds of
+	// thousands of mostly-empty cells) do not pay one channel operation
+	// per cell.
+	const cellBatch = 256
+	cellCh := make(chan [2]int, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var st Stats
+	errCh := make(chan error, workers)
+
+	spawn := cfg.Go
+	if spawn == nil {
+		spawn = func(f func()) bool { go f(); return true }
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		scheduled := spawn(func() {
+			defer wg.Done()
+			emit, finish := newEmit()
+			localStats, err := worker(a, b, cfg, cellCh, emit)
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+			finish()
+			mu.Lock()
+			st.Candidates += localStats.Candidates
+			st.Refined += localStats.Refined
+			st.Duplicates += localStats.Duplicates
+			st.Reparses += localStats.Reparses
+			st.CacheHits += localStats.CacheHits
+			mu.Unlock()
+		})
+		if !scheduled {
+			// Cancelled while waiting for a worker slot: the feeder's own
+			// ctx select drains the remaining ranges.
+			wg.Done()
+			break
+		}
+	}
+	done := cfg.done()
+	go func() {
+		for c := 0; c < cells; c += cellBatch {
+			end := c + cellBatch
+			if end > cells {
+				end = cells
+			}
+			select {
+			case cellCh <- [2]int{c, end}:
+			case <-done:
+				close(cellCh)
+				return
+			}
+		}
+		close(cellCh)
+	}()
+	wg.Wait()
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return st, cfg.Ctx.Err()
+	}
+	select {
+	case err := <-errCh:
+		return st, err
+	default:
+	}
+	return st, nil
+}
+
+// worker processes partition cell ranges from cellCh, reporting pairs
+// through emit. On error or cancellation it drains the channel so the
+// feeder never blocks.
+func worker(a, b *partition.Set, cfg Config, cellCh <-chan [2]int, emit func(Pair)) (Stats, error) {
 	var st Stats
 	cache := newGeomCache(cfg.CacheSize)
 	for rng := range cellCh {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			for range cellCh {
+			}
+			return st, cfg.Ctx.Err()
+		}
 		for c := rng[0]; c < rng[1]; c++ {
-			if err := joinCell(a, b, cfg, c, cache, &out, &st); err != nil {
-				return nil, st, err
+			if err := joinCell(a, b, cfg, c, cache, emit, &st); err != nil {
+				for range cellCh {
+				}
+				return st, err
 			}
 		}
 	}
-	return out, st, nil
+	return st, nil
 }
 
-// joinCell joins one partition cell.
-func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, out *[]Pair, st *Stats) error {
+// joinCell joins one partition cell, reporting pairs through emit.
+func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, emit func(Pair), st *Stats) error {
 	ea := a.Cell(c)
 	eb := b.Cell(c)
 	if len(ea) == 0 || len(eb) == 0 {
@@ -195,7 +284,7 @@ func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, out *[]P
 			}
 			// REFINE: exact predicate.
 			if cfg.Predicate(curGeom, gb) {
-				*out = append(*out, Pair{AID: cd.aID, BID: cd.bID, AOff: cd.aOff, BOff: cd.bOff})
+				emit(Pair{AID: cd.aID, BID: cd.bID, AOff: cd.aOff, BOff: cd.bOff})
 				st.Refined++
 			}
 		}
@@ -208,6 +297,12 @@ func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, out *[]P
 	for _, x := range ea {
 		for _, y := range eb {
 			if !x.Box.Intersects(y.Box) {
+				continue
+			}
+			if cfg.refPointDedup && !ownsPair(a.Grid, c, x.Box, y.Box) {
+				// Another cell owns this pair's reference point and will
+				// report it; skip the duplicate before refinement.
+				st.Duplicates++
 				continue
 			}
 			st.Candidates++
@@ -223,6 +318,23 @@ func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, out *[]P
 		return err
 	}
 	return nil
+}
+
+// ownsPair reports whether cell c contains the reference point — the
+// lower-left corner of the MBR intersection — of a candidate pair. The
+// intersection is non-empty (the MBRs intersect) and the point lies in
+// both MBRs, so exactly one cell owns each pair and that cell holds both
+// entries.
+func ownsPair(g partition.Grid, c int, a, b geom.Box) bool {
+	rx := a.MinX
+	if b.MinX > rx {
+		rx = b.MinX
+	}
+	ry := a.MinY
+	if b.MinY > ry {
+		ry = b.MinY
+	}
+	return g.CellOf(rx, ry) == c
 }
 
 // geomCache is the PARSER/BUFFER hash map for the non-adjacent side.

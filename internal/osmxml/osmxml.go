@@ -351,14 +351,14 @@ func trimLine(line []byte) []byte {
 // blocks.
 func SplitElements(input []byte, blockSize int) []int64 {
 	var cuts []int64
-	SplitElementsStream(input, blockSize, func(cut int64) { cuts = append(cuts, cut) })
+	SplitElementsStream(input, blockSize, func(cut int64) bool { cuts = append(cuts, cut); return true })
 	return cuts
 }
 
 // SplitElementsStream yields element-boundary cut offsets in increasing
 // order as they are found (the incremental splitting form of
-// SplitElements).
-func SplitElementsStream(input []byte, blockSize int, yieldCut func(int64)) {
+// SplitElements). The scan stops early when yieldCut returns false.
+func SplitElementsStream(input []byte, blockSize int, yieldCut func(int64) bool) {
 	if blockSize < 1 {
 		blockSize = 1
 	}
@@ -382,7 +382,9 @@ func SplitElementsStream(input []byte, blockSize int, yieldCut func(int64)) {
 		if i >= len(input) {
 			break
 		}
-		yieldCut(int64(i))
+		if !yieldCut(int64(i)) {
+			return
+		}
 		target = i + blockSize
 	}
 }

@@ -113,6 +113,16 @@ func (g Grid) clampRow(r int) int {
 	return r
 }
 
+// CellOf returns the index of the cell containing point (x, y).
+// Out-of-extent points clamp to the border cells, mirroring the
+// clamping CellRange applies to inserted boxes, so the owner cell of a
+// box corner is always one of the cells the box was inserted into.
+func (g Grid) CellOf(x, y float64) int {
+	c := g.clampCol(int(math.Floor((x - g.Extent.MinX) / g.CellSize)))
+	r := g.clampRow(int(math.Floor((y - g.Extent.MinY) / g.CellSize)))
+	return r*g.Cols + c
+}
+
 // CellBox returns the extent of cell c.
 func (g Grid) CellBox(c int) geom.Box {
 	col := c % g.Cols

@@ -11,9 +11,16 @@
 // result on a per-block ready channel, and the merger consumes results
 // in input order as soon as their predecessors are folded — exactly the
 // concurrent split/process plus ordered merge the paper describes.
+//
+// Runs are cancellable: RunCtx threads a context through all three
+// phases, so a cancelled request stops splitting, dispatches no further
+// blocks and skips unprocessed ones. Workers come either from a run-local
+// set of goroutines or from a shared persistent Pool, which lets many
+// concurrent queries share one bounded set of processing threads.
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"runtime/metrics"
 	"time"
@@ -79,8 +86,10 @@ type Splitter interface {
 // they are found so processing can start before splitting completes.
 type StreamSplitter interface {
 	Splitter
-	// SplitStream yields cut offsets in increasing order.
-	SplitStream(input []byte, yield func(cut int64))
+	// SplitStream yields cut offsets in increasing order. The scan must
+	// stop when yield returns false (a cancelled run refuses further
+	// blocks).
+	SplitStream(input []byte, yield func(cut int64) bool)
 }
 
 // SplitterFunc adapts a batch function to the Splitter interface.
@@ -91,15 +100,15 @@ func (f SplitterFunc) Split(input []byte) []int64 { return f(input) }
 
 // StreamSplitterFunc adapts an incremental cut generator to both
 // splitter interfaces.
-type StreamSplitterFunc func(input []byte, yield func(cut int64))
+type StreamSplitterFunc func(input []byte, yield func(cut int64) bool)
 
 // SplitStream implements StreamSplitter.
-func (f StreamSplitterFunc) SplitStream(input []byte, yield func(cut int64)) { f(input, yield) }
+func (f StreamSplitterFunc) SplitStream(input []byte, yield func(cut int64) bool) { f(input, yield) }
 
 // Split implements Splitter by collecting the streamed cuts.
 func (f StreamSplitterFunc) Split(input []byte) []int64 {
 	var cuts []int64
-	f(input, func(c int64) { cuts = append(cuts, c) })
+	f(input, func(c int64) bool { cuts = append(cuts, c); return true })
 	return cuts
 }
 
@@ -110,18 +119,20 @@ type FixedSplitter struct{ BlockSize int }
 // Split implements Splitter.
 func (s FixedSplitter) Split(input []byte) []int64 {
 	var cuts []int64
-	s.SplitStream(input, func(c int64) { cuts = append(cuts, c) })
+	s.SplitStream(input, func(c int64) bool { cuts = append(cuts, c); return true })
 	return cuts
 }
 
 // SplitStream implements StreamSplitter.
-func (s FixedSplitter) SplitStream(input []byte, yield func(cut int64)) {
+func (s FixedSplitter) SplitStream(input []byte, yield func(cut int64) bool) {
 	bs := s.BlockSize
 	if bs < 1 {
 		bs = 1 << 20
 	}
 	for c := int64(bs); c < int64(len(input)); c += int64(bs) {
-		yield(c)
+		if !yield(c) {
+			return
+		}
 	}
 }
 
@@ -143,11 +154,14 @@ func BlocksFromCuts(n int64, cuts []int64) []Block {
 }
 
 // item carries one block through the engine: workers fill r and close
-// ready; the merger waits on ready in input order.
+// ready; the merger waits on ready in input order. skipped marks blocks
+// abandoned by a cancelled run (ready is still closed so the ordered
+// merge can drain).
 type item[R any] struct {
-	b     Block
-	r     R
-	ready chan struct{}
+	b       Block
+	r       R
+	skipped bool
+	ready   chan struct{}
 }
 
 var allocMetrics = []string{
@@ -166,13 +180,30 @@ func readAllocMetrics(samples []metrics.Sample) (bytes, objects, cycles uint64) 
 	return samples[0].Value.Uint64(), samples[1].Value.Uint64(), samples[2].Value.Uint64()
 }
 
+// Exec selects where a run's processing happens: on a shared persistent
+// Pool (set Pool) or on Workers run-local goroutines (Pool nil).
+type Exec struct {
+	// Workers is the run-local goroutine count when Pool is nil
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Pool, when set, processes blocks on the shared pool instead of
+	// spawning run-local workers.
+	Pool *Pool
+}
+
+func (e Exec) workers() int {
+	if e.Pool != nil {
+		return e.Pool.Size()
+	}
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Run executes process over every block on workers goroutines and folds
-// the results in input order. Splitting, processing and merging overlap:
-// block descriptors stream from the splitter as cuts are found (see
-// StreamSplitter), each worker publishes its result on the block's ready
-// channel, and the fold — running on the caller's goroutine — consumes
-// results as soon as their predecessors are merged, the ordered
-// associative reduction of §3.2.
+// the results in input order; the uncancellable form of RunCtx kept for
+// callers without a context.
 func Run[R any](
 	input []byte,
 	splitter Splitter,
@@ -180,9 +211,32 @@ func Run[R any](
 	process func(b Block) R,
 	fold func(b Block, r R),
 ) Stats {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	st, _ := RunCtx(context.Background(), input, splitter, Exec{Workers: workers}, process, fold)
+	return st
+}
+
+// RunCtx executes process over every block and folds the results in
+// input order. Splitting, processing and merging overlap: block
+// descriptors stream from the splitter as cuts are found (see
+// StreamSplitter), each worker publishes its result on the block's ready
+// channel, and the fold — running on the caller's goroutine — consumes
+// results as soon as their predecessors are merged, the ordered
+// associative reduction of §3.2.
+//
+// Cancelling ctx stops the run promptly: the splitter dispatches no
+// further blocks, queued blocks are skipped instead of processed, no
+// further results are folded, and RunCtx returns ctx's error. Partial
+// folds may already have happened; callers must treat the result as
+// invalid when an error is returned.
+func RunCtx[R any](
+	ctx context.Context,
+	input []byte,
+	splitter Splitter,
+	exec Exec,
+	process func(b Block) R,
+	fold func(b Block, r R),
+) (Stats, error) {
+	workers := exec.workers()
 	var st Stats
 	st.Workers = workers
 	st.Bytes = int64(len(input))
@@ -194,19 +248,56 @@ func Run[R any](
 	ab0, ao0, gc0 := readAllocMetrics(samples)
 
 	t0 := time.Now()
+	done := ctx.Done()
 	// The order channel must hold every block that can be in flight
 	// beyond the merge head (work buffer + workers) so the splitter
 	// never blocks on it while the merger waits for the head block.
-	work := make(chan *item[R], 2*workers)
 	order := make(chan *item[R], 3*workers+4)
 
-	for w := 0; w < workers; w++ {
-		go func() {
-			for it := range work {
-				it.r = process(it.b)
+	// run processes one block unless the run was cancelled first.
+	run := func(it *item[R]) {
+		if ctx.Err() == nil {
+			it.r = process(it.b)
+		} else {
+			it.skipped = true
+		}
+		close(it.ready)
+	}
+
+	// submit hands a block to the processing workers, giving up (and
+	// marking the block skipped) once ctx is cancelled.
+	var submit func(it *item[R]) bool
+	var work chan *item[R]
+	if exec.Pool != nil {
+		submit = func(it *item[R]) bool {
+			select {
+			case exec.Pool.tasks <- func() { run(it) }:
+				return true
+			case <-done:
+				it.skipped = true
 				close(it.ready)
+				return false
 			}
-		}()
+		}
+	} else {
+		work = make(chan *item[R], 2*workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for it := range work {
+					run(it)
+				}
+			}()
+		}
+		submit = func(it *item[R]) bool {
+			select {
+			case work <- it:
+				return true
+			case <-done:
+				it.skipped = true
+				close(it.ready)
+				return false
+			}
+		}
 	}
 
 	// Splitter goroutine: stream block descriptors as cuts are found.
@@ -219,42 +310,69 @@ func Run[R any](
 		n := int64(len(input))
 		prev := int64(0)
 		idx := 0
+		cancelled := false
 		dispatch := func(b Block) {
 			it := &item[R]{b: b, ready: make(chan struct{})}
 			d0 := time.Now()
-			order <- it
-			work <- it
-			blocked += time.Since(d0)
-		}
-		yield := func(c int64) {
-			if c <= prev || c >= n {
+			select {
+			case order <- it:
+			case <-done:
+				cancelled = true
+				blocked += time.Since(d0)
 				return
 			}
+			if !submit(it) {
+				cancelled = true
+			}
+			blocked += time.Since(d0)
+		}
+		yield := func(c int64) bool {
+			if cancelled {
+				return false
+			}
+			if c <= prev || c >= n {
+				return true
+			}
 			dispatch(Block{Index: idx, Start: prev, End: c})
+			if cancelled {
+				return false
+			}
 			prev = c
 			idx++
+			return true
 		}
 		if ss, ok := splitter.(StreamSplitter); ok {
 			ss.SplitStream(input, yield)
 		} else {
 			for _, c := range splitter.Split(input) {
-				yield(c)
+				if !yield(c) {
+					break
+				}
 			}
 		}
-		dispatch(Block{Index: idx, Start: prev, End: n})
+		if !cancelled {
+			dispatch(Block{Index: idx, Start: prev, End: n})
+		}
 		// Report only the time spent finding boundaries: waiting for a
 		// full work/order queue is the workers' time, not the split
 		// phase's, and counting it would double-bill overlapped phases.
 		splitDur = time.Since(s0) - blocked
 		close(order)
-		close(work)
+		if work != nil {
+			close(work)
+		}
 	}()
 
-	// Ordered merge on the caller's goroutine.
+	// Ordered merge on the caller's goroutine. On cancellation the loop
+	// keeps draining order (the splitter stops quickly, so the channel is
+	// bounded) but folds nothing further.
 	var mergeTime time.Duration
 	blocks := 0
 	for it := range order {
 		<-it.ready
+		if it.skipped || ctx.Err() != nil {
+			continue
+		}
 		m0 := time.Now()
 		fold(it.b, it.r)
 		mergeTime += time.Since(m0)
@@ -274,5 +392,5 @@ func Run[R any](
 	st.AllocBytes = ab1 - ab0
 	st.AllocObjects = ao1 - ao0
 	st.GCCycles = gc1 - gc0
-	return st
+	return st, ctx.Err()
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -130,7 +131,7 @@ func TestRunOverlapsSplitAndProcess(t *testing.T) {
 	input := make([]byte, 4096)
 	firstProcessed := make(chan struct{})
 	var once sync.Once
-	splitter := StreamSplitterFunc(func(in []byte, yield func(int64)) {
+	splitter := StreamSplitterFunc(func(in []byte, yield func(int64) bool) {
 		yield(1024)
 		select {
 		case <-firstProcessed:
@@ -186,7 +187,7 @@ func TestRunOutOfOrderCompletion(t *testing.T) {
 // non-monotonic cuts and expects them to be dropped.
 func TestRunStreamSplitterRejectsBadCuts(t *testing.T) {
 	input := make([]byte, 100)
-	splitter := StreamSplitterFunc(func(in []byte, yield func(int64)) {
+	splitter := StreamSplitterFunc(func(in []byte, yield func(int64) bool) {
 		yield(0)   // not a cut
 		yield(30)  // ok
 		yield(20)  // backwards: dropped
@@ -219,5 +220,135 @@ func TestSplitterFunc(t *testing.T) {
 	cuts := s.Split(make([]byte, 10))
 	if len(cuts) != 1 || cuts[0] != 5 {
 		t.Fatalf("cuts = %v", cuts)
+	}
+}
+
+// TestRunCtxCancelStopsDispatch cancels a run mid-stream and verifies
+// the splitter stops yielding, unprocessed blocks are skipped, the merge
+// drains, and no goroutines are left behind.
+func TestRunCtxCancelStopsDispatch(t *testing.T) {
+	input := make([]byte, 1<<20)
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed atomic.Int32
+	var yields atomic.Int32
+	splitter := StreamSplitterFunc(func(in []byte, yield func(int64) bool) {
+		for c := int64(1024); c < int64(len(in)); c += 1024 {
+			yields.Add(1)
+			if yields.Load() == 8 {
+				cancel()
+			}
+			if !yield(c) {
+				return
+			}
+		}
+	})
+	folded := 0
+	_, err := RunCtx(ctx, input, splitter, Exec{Workers: 2},
+		func(b Block) int {
+			processed.Add(1)
+			return b.Index
+		},
+		func(b Block, r int) { folded++ },
+	)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	total := int(int64(len(input)) / 1024)
+	if int(yields.Load()) >= total {
+		t.Errorf("splitter ran to completion (%d yields) despite cancellation", yields.Load())
+	}
+	if folded > int(processed.Load()) {
+		t.Errorf("folded %d > processed %d", folded, processed.Load())
+	}
+}
+
+// TestRunCtxPool runs two concurrent pipelines on one shared pool and
+// checks both produce complete, ordered results.
+func TestRunCtxPool(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	input := bytes.Repeat([]byte{1}, 50000)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	totals := make([]int64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var total int64
+			st, err := RunCtx(context.Background(), input, FixedSplitter{BlockSize: 997}, Exec{Pool: pool},
+				func(b Block) int64 {
+					var s int64
+					for _, v := range input[b.Start:b.End] {
+						s += int64(v)
+					}
+					return s
+				},
+				func(b Block, r int64) { total += r },
+			)
+			errs[i] = err
+			totals[i] = total
+			if st.Workers != pool.Size() {
+				t.Errorf("stats workers = %d, want pool size %d", st.Workers, pool.Size())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if totals[i] != 50000 {
+			t.Fatalf("run %d: total = %d, want 50000", i, totals[i])
+		}
+	}
+}
+
+// TestRunCtxPoolCancel cancels one of two concurrent runs sharing a pool
+// and checks the other completes correctly.
+func TestRunCtxPoolCancel(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	input := bytes.Repeat([]byte{1}, 100000)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var okTotal int64
+	var okErr error
+	go func() {
+		defer wg.Done()
+		_, err := RunCtx(ctx, input, FixedSplitter{BlockSize: 512}, Exec{Pool: pool},
+			func(b Block) int {
+				if b.Index == 3 {
+					cancel()
+				}
+				return 0
+			},
+			func(b Block, r int) {},
+		)
+		if err == nil {
+			t.Error("cancelled run returned nil error")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		_, okErr = RunCtx(context.Background(), input, FixedSplitter{BlockSize: 4096}, Exec{Pool: pool},
+			func(b Block) int64 {
+				var s int64
+				for _, v := range input[b.Start:b.End] {
+					s += int64(v)
+				}
+				return s
+			},
+			func(b Block, r int64) { okTotal += r },
+		)
+	}()
+	wg.Wait()
+	if okErr != nil {
+		t.Fatalf("unaffected run failed: %v", okErr)
+	}
+	if okTotal != 100000 {
+		t.Fatalf("unaffected run total = %d, want 100000", okTotal)
 	}
 }

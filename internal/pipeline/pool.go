@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a persistent worker pool shared by many pipeline runs. An
+// Engine owns one pool so concurrent queries share a bounded set of
+// processing threads instead of each run spawning its own goroutines;
+// block-processing closures from all in-flight runs interleave on the
+// same workers.
+type Pool struct {
+	tasks chan func()
+	size  int
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool of size worker goroutines (GOMAXPROCS when
+// size <= 0).
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func()), size: size}
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// SubmitCtx hands f to a pool worker, blocking until one accepts it or
+// ctx is cancelled, and reports whether f was scheduled. Used for
+// long-lived tasks (join sweep workers) that should occupy pool slots
+// rather than spawn unbounded goroutines.
+func (p *Pool) SubmitCtx(ctx context.Context, f func()) bool {
+	select {
+	case p.tasks <- f:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Close stops the workers after draining queued tasks. Runs must not be
+// in flight or submitted afterwards.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}

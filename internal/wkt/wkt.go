@@ -16,11 +16,23 @@ import (
 	"atgis/internal/numparse"
 )
 
-// ParseLine parses one record of the form "<id>\t<WKT>". off is the byte
-// offset of the line start, recorded on the feature for join re-parsing.
+// ParseLine parses one record of the form "<id>\t<WKT>", or a bare WKT
+// geometry ("POINT (1 2)") with no id prefix, in which case the line's
+// byte offset doubles as the feature id. off is the byte offset of the
+// line start, recorded on the feature for join re-parsing.
 func ParseLine(line []byte, off int64) (geom.Feature, error) {
 	f := geom.Feature{Offset: off}
 	i := 0
+	if len(line) > 0 && isAlpha(line[0]) {
+		// Bare geometry line: no numeric id column.
+		g, _, err := ParseGeometry(line)
+		if err != nil {
+			return f, err
+		}
+		f.ID = off
+		f.Geom = g
+		return f, nil
+	}
 	// Parse the id.
 	neg := false
 	if i < len(line) && line[i] == '-' {
@@ -48,6 +60,8 @@ func ParseLine(line []byte, off int64) (geom.Feature, error) {
 	f.Geom = g
 	return f, nil
 }
+
+func isAlpha(c byte) bool { return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') }
 
 // parserPool recycles parsers (and their point/ring scratch buffers)
 // across lines, so steady-state parsing allocates only the exact-size
@@ -270,13 +284,14 @@ func (p *parser) geometry() (geom.Geometry, error) {
 // each multiple of blockSize.
 func SplitLines(input []byte, blockSize int) []int64 {
 	var cuts []int64
-	SplitLinesStream(input, blockSize, func(cut int64) { cuts = append(cuts, cut) })
+	SplitLinesStream(input, blockSize, func(cut int64) bool { cuts = append(cuts, cut); return true })
 	return cuts
 }
 
 // SplitLinesStream yields line-boundary cut offsets in increasing order
-// as they are found (the incremental splitting form of SplitLines).
-func SplitLinesStream(input []byte, blockSize int, yieldCut func(int64)) {
+// as they are found (the incremental splitting form of SplitLines). The
+// scan stops early when yieldCut returns false.
+func SplitLinesStream(input []byte, blockSize int, yieldCut func(int64) bool) {
 	if blockSize < 1 {
 		blockSize = 1
 	}
@@ -288,7 +303,9 @@ func SplitLinesStream(input []byte, blockSize int, yieldCut func(int64)) {
 		if i >= len(input) {
 			break
 		}
-		yieldCut(int64(i))
+		if !yieldCut(int64(i)) {
+			return
+		}
 		target = i + blockSize
 	}
 }

@@ -1,0 +1,9 @@
+//go:build linux
+
+package atgis
+
+import "syscall"
+
+func madviseSequential(data []byte) error {
+	return syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}

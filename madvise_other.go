@@ -1,0 +1,5 @@
+//go:build (darwin || freebsd || netbsd || openbsd || dragonfly) && !linux
+
+package atgis
+
+func madviseSequential([]byte) error { return nil }

@@ -1,0 +1,15 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package atgis
+
+import "os"
+
+// mmapFile falls back to reading the whole file on platforms without
+// a wired-up mmap; OpenMapped still works, it just loads eagerly.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

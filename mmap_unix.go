@@ -1,0 +1,24 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package atgis
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The returned release function unmaps; it
+// is never nil. Empty files map to an empty, releasable view.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Queries stream the input front to back; tell the kernel so
+	// readahead stays aggressive.
+	_ = madviseSequential(data)
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

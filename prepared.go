@@ -1,0 +1,114 @@
+package atgis
+
+import (
+	"context"
+	"fmt"
+
+	"atgis/internal/geojson"
+	"atgis/internal/geom"
+	"atgis/internal/query"
+)
+
+// PreparedQuery is a single-pass query (containment or aggregation)
+// compiled once and executable many times, against the same or different
+// Sources, from any number of goroutines concurrently. Preparation
+// normalizes the spec (reference MBR, derived fields) and fuses the
+// per-feature evaluation into the extraction configuration, so repeated
+// executions skip that work and share no mutable state.
+type PreparedQuery struct {
+	engine *Engine
+	spec   query.Spec // private normalized copy; read-only after Prepare
+	opt    Options
+	cfg    *geojson.Config // fused extraction+eval config (GeoJSON path)
+}
+
+// Prepare compiles spec for repeated execution on the engine. Only
+// single-pass kinds (query.Containment, query.Aggregation) can be
+// prepared; joins go through Engine.Join / Engine.JoinStream.
+func (e *Engine) Prepare(spec *query.Spec, opt Options) (*PreparedQuery, error) {
+	if err := e.check(); err != nil {
+		return nil, err
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("atgis: nil query spec")
+	}
+	switch spec.Kind {
+	case query.Containment, query.Aggregation:
+	default:
+		return nil, fmt.Errorf("atgis: cannot prepare %v query; use Engine.Join or Engine.Combined", spec.Kind)
+	}
+	p := &PreparedQuery{engine: e, spec: *spec, opt: e.opts(opt)}
+	p.spec.Normalize()
+	p.cfg = &geojson.Config{
+		PropKeys: p.opt.PropKeys,
+		Eval: func(f *geom.Feature) any {
+			return query.Apply(&p.spec, f)
+		},
+	}
+	return p, nil
+}
+
+// Spec returns a copy of the compiled (normalized) spec.
+func (p *PreparedQuery) Spec() query.Spec { return p.spec }
+
+// Execute runs the prepared query over src in one parallel pass and
+// blocks until the summary is complete. Cancelling ctx stops the
+// pipeline (no further blocks are dispatched or processed) and returns
+// ctx's error. Execute is safe to call concurrently — including against
+// the same Source — because every run keeps its state thread-local and
+// merges it per run, exactly as the per-block fragments do.
+func (p *PreparedQuery) Execute(ctx context.Context, src Source) (*Result, error) {
+	return p.run(ctx, src, nil)
+}
+
+// run is the shared execution core: aggregates into a fresh Result and,
+// when onFeature is set, streams every scanned feature with its
+// per-feature outcome.
+func (p *PreparedQuery) run(ctx context.Context, src Source, onFeature func(*geom.Feature, query.FeatureVal)) (*Result, error) {
+	if err := p.engine.check(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	data := src.Bytes()
+	spec := &p.spec
+	out := &Result{Res: query.NewResult()}
+	// The sinks come in an aggregate-only and a streaming flavour; the
+	// aggregate-only ones call Absorb directly (no func-value hop) so
+	// escape analysis keeps the per-feature FeatureOut off the heap.
+	sink := func(f geojson.FeatureOut) {
+		v, _ := f.Val.(query.FeatureVal)
+		out.Res.Absorb(spec, &f.Feature, v)
+	}
+	consume := func(f *geom.Feature) {
+		out.Res.Absorb(spec, f, query.Apply(spec, f))
+	}
+	if onFeature != nil {
+		sink = func(f geojson.FeatureOut) {
+			v, _ := f.Val.(query.FeatureVal)
+			out.Res.Absorb(spec, &f.Feature, v)
+			onFeature(&f.Feature, v)
+		}
+		consume = func(f *geom.Feature) {
+			v := query.Apply(spec, f)
+			out.Res.Absorb(spec, f, v)
+			onFeature(f, v)
+		}
+	}
+	var err error
+	switch src.DataFormat() {
+	case GeoJSON:
+		out.Stats, out.Repaired, out.Reprocessed, err = p.engine.runGeoJSONWith(ctx, data, p.cfg, p.opt, sink)
+	case WKT:
+		out.Stats, err = p.engine.runWKT(ctx, data, p.opt, consume)
+	case OSMXML:
+		out.Stats, err = p.engine.runOSM(ctx, data, p.opt, consume)
+	default:
+		err = fmt.Errorf("atgis: unsupported format %v", src.DataFormat())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package atgis
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"atgis/internal/geom"
+	"atgis/internal/join"
+	"atgis/internal/query"
+)
+
+// stream is the single-consumer iterator core shared by Results and
+// JoinPairs: a bounded channel the producer fills (with backpressure), a
+// terminal summary published before done closes, and Close/ctx
+// cancellation that abandons the producer early.
+type stream[T any, S any] struct {
+	ch     chan T
+	done   chan struct{}
+	cancel context.CancelFunc
+	closed atomic.Bool // cancellation came from Close, not the caller's ctx
+	cur    T
+	sum    S
+	err    error
+}
+
+// init wires the channels and returns the producer's (cancellable)
+// context.
+func (s *stream[T, S]) init(ctx context.Context, buf int) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s.ch = make(chan T, buf)
+	s.done = make(chan struct{})
+	s.cancel = cancel
+	return ctx
+}
+
+// finish publishes the terminal state; the producer must call it exactly
+// once, after its last send.
+func (s *stream[T, S]) finish(sum S, err error) {
+	s.sum, s.err = sum, err
+	close(s.ch)
+	close(s.done)
+	s.cancel()
+}
+
+// next advances the iterator.
+func (s *stream[T, S]) next() bool {
+	v, ok := <-s.ch
+	if !ok {
+		return false
+	}
+	s.cur = v
+	return true
+}
+
+// wait blocks until the producer finished, discarding any items the
+// consumer did not iterate — without this drain, a producer blocked on a
+// full channel would never finish and Summary/Err would deadlock. The
+// stream is single-consumer: wait must not race a concurrent next.
+func (s *stream[T, S]) wait() {
+	for range s.ch {
+	}
+	<-s.done
+}
+
+// summary returns the terminal summary and error after the producer
+// finished (remaining unconsumed items are discarded, but the pass
+// itself still completes so the summary covers the full input).
+func (s *stream[T, S]) summary() (S, error) {
+	s.wait()
+	return s.sum, s.err
+}
+
+// terminalErr is summary's error half. Deliberate abandonment via close
+// is not an error; cancellation of the caller's own context is (the
+// stream is incomplete without the caller having asked for that).
+func (s *stream[T, S]) terminalErr() error {
+	s.wait()
+	if s.closed.Load() && errors.Is(s.err, context.Canceled) {
+		return nil
+	}
+	return s.err
+}
+
+// abandon cancels the producer and waits it out.
+func (s *stream[T, S]) abandon() error {
+	s.closed.Store(true)
+	s.cancel()
+	return s.terminalErr()
+}
+
+// Results streams the matching features of a prepared query as the
+// pipeline produces them, in input order, instead of buffering the full
+// result set:
+//
+//	res := pq.Stream(ctx, src)
+//	for res.Next() {
+//	        f := res.Feature()
+//	        ...
+//	}
+//	sum, err := res.Summary()
+//
+// The iterator applies backpressure: a slow consumer slows the
+// pipeline's ordered merge rather than growing a buffer. Close (or
+// cancelling ctx) abandons the run early. Results is single-consumer;
+// Summary and Err may be called once iteration stopped.
+type Results struct {
+	stream[StreamedFeature, *Result]
+}
+
+// StreamedFeature is one matched feature plus its per-feature outcome
+// (aggregate contributions).
+type StreamedFeature struct {
+	Feature geom.Feature
+	Val     query.FeatureVal
+}
+
+// Stream starts the prepared query over src and returns the streaming
+// iterator over matching features. The underlying pipeline runs on the
+// engine's workers; cancelling ctx or calling Close stops it without
+// waiting for the full pass.
+func (p *PreparedQuery) Stream(ctx context.Context, src Source) *Results {
+	r := &Results{}
+	ctx = r.init(ctx, 64)
+	go func() {
+		sum, err := p.run(ctx, src, func(f *geom.Feature, v query.FeatureVal) {
+			if !v.Matched {
+				return
+			}
+			select {
+			case r.ch <- StreamedFeature{Feature: *f, Val: v}:
+			case <-ctx.Done():
+			}
+		})
+		r.finish(sum, err)
+	}()
+	return r
+}
+
+// Next advances to the next matching feature, blocking until one is
+// available or the stream ends. It returns false when the pass is
+// complete, failed, or was cancelled; check Err or Summary afterwards.
+func (r *Results) Next() bool { return r.next() }
+
+// Feature returns the current match. The pointer is valid until the
+// next call to Next — copy the pointed-to value (its geometry and
+// properties are not reused) to retain a match across iterations.
+func (r *Results) Feature() *geom.Feature { return &r.cur.Feature }
+
+// Value returns the current match's per-feature outcome.
+func (r *Results) Value() query.FeatureVal { return r.cur.Val }
+
+// Summary blocks until the pass finishes and returns the aggregate
+// result (counts, sums, MBR, stats); matches not consumed via Next are
+// discarded, but the aggregates still cover the whole input. When the
+// stream was cancelled or failed, the error is returned and the summary
+// is nil.
+func (r *Results) Summary() (*Result, error) { return r.summary() }
+
+// Err returns the terminal error of the stream, blocking until the pass
+// finishes. Deliberate abandonment via Close is not an error;
+// cancellation of the caller's own context is.
+func (r *Results) Err() error { return r.terminalErr() }
+
+// Close abandons the stream: the pipeline stops dispatching blocks and
+// the remaining matches are discarded. Safe to call at any time, also
+// after full consumption.
+func (r *Results) Close() error { return r.abandon() }
+
+// JoinPairs streams the result pairs of a spatial join as the join
+// phase finds them (the partition phase still completes first — the
+// join is two-pass by construction). Pairs are deduplicated on the fly
+// with the reference-point method, so nothing is buffered or sorted;
+// pair order is nondeterministic across runs. Like Results, JoinPairs
+// is single-consumer.
+type JoinPairs struct {
+	stream[join.Pair, *JoinResult]
+}
+
+// JoinStream starts the two-pass join over src and returns the
+// streaming pair iterator. Unlike Engine.Join it does not buffer,
+// sort or globally deduplicate the pair set; duplicates are suppressed
+// per partition cell via the reference-point test.
+func (e *Engine) JoinStream(ctx context.Context, src Source, spec JoinSpec, opt Options) *JoinPairs {
+	r := &JoinPairs{}
+	ctx = r.init(ctx, 256)
+	go func() {
+		sum, err := e.joinStreamed(ctx, src, spec, opt, func(p join.Pair) {
+			select {
+			case r.ch <- p:
+			case <-ctx.Done():
+			}
+		})
+		r.finish(sum, err)
+	}()
+	return r
+}
+
+// joinStreamed is the JoinStream producer body: partition phase, then
+// the streaming join sweep.
+func (e *Engine) joinStreamed(ctx context.Context, src Source, spec JoinSpec, opt Options, emit func(join.Pair)) (*JoinResult, error) {
+	if err := e.check(); err != nil {
+		return nil, err
+	}
+	opt = e.opts(opt)
+	merged, extent, stats, err := e.joinPartitionPhase(ctx, src, &spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	reparse, err := e.reparser(ctx, src, opt)
+	if err != nil {
+		return nil, err
+	}
+	jstats, err := join.RunStream(merged.Sets[0], merged.Sets[1], e.joinConfig(ctx, &spec, opt, reparse), emit)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinResult{
+		PartitionStats: stats,
+		JoinStats:      jstats,
+		Extent:         extent,
+	}, nil
+}
+
+// Next advances to the next joined pair, blocking until one is found or
+// the join ends.
+func (r *JoinPairs) Next() bool { return r.next() }
+
+// Pair returns the current joined pair (valid after Next returned true).
+func (r *JoinPairs) Pair() join.Pair { return r.cur }
+
+// Summary blocks until the join finishes and returns phase stats (its
+// Pairs slice is nil — the pairs were streamed; unconsumed pairs are
+// discarded).
+func (r *JoinPairs) Summary() (*JoinResult, error) { return r.summary() }
+
+// Err returns the terminal error, blocking until the join finishes.
+// Deliberate abandonment via Close is not an error; cancellation of the
+// caller's own context is.
+func (r *JoinPairs) Err() error { return r.terminalErr() }
+
+// Close abandons the stream and stops the join.
+func (r *JoinPairs) Close() error { return r.abandon() }

@@ -1,0 +1,232 @@
+package atgis
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// Format identifies the raw input format.
+type Format uint8
+
+// Supported input formats.
+const (
+	AutoDetect Format = iota
+	GeoJSON
+	WKT
+	OSMXML
+)
+
+func (f Format) String() string {
+	switch f {
+	case GeoJSON:
+		return "geojson"
+	case WKT:
+		return "wkt"
+	case OSMXML:
+		return "osmxml"
+	default:
+		return "auto"
+	}
+}
+
+// Source is an open raw spatial dataset: a byte view of the input plus
+// its format and lifecycle. Queries execute directly against the bytes
+// with no loading or indexing phase, so a Source open is O(1) — the
+// work happens per query.
+//
+// Implementations: OpenMapped returns a memory-mapped file view (cold
+// start and resident memory independent of file size), FromBytes wraps
+// an in-memory buffer, and ReaderSource buffers piped input. A Source
+// is safe for any number of concurrent queries; Close must only be
+// called once no query is in flight.
+type Source interface {
+	// Bytes returns the raw input. Callers must not modify or retain it
+	// past Close.
+	Bytes() []byte
+	// DataFormat reports the detected or declared input format.
+	DataFormat() Format
+	// Close releases the underlying view (unmaps files, frees buffers).
+	Close() error
+}
+
+// Dataset is a raw spatial input held in memory. It implements Source
+// and also carries the original one-shot query methods (Query, Join,
+// Combined), which remain as thin wrappers over a default Engine.
+//
+// Deprecated: new code should open inputs through OpenMapped, FromBytes
+// or ReaderSource and run queries through an Engine and PreparedQuery.
+type Dataset struct {
+	Data   []byte
+	Format Format
+}
+
+// Bytes implements Source.
+func (d *Dataset) Bytes() []byte { return d.Data }
+
+// DataFormat implements Source.
+func (d *Dataset) DataFormat() Format { return d.Format }
+
+// Close implements Source; in-memory datasets hold no resources.
+func (d *Dataset) Close() error { return nil }
+
+// Open loads a dataset file into memory, detecting the format from its
+// content when format is AutoDetect.
+//
+// Deprecated: use OpenMapped, which maps the file instead of copying it
+// into the heap.
+func Open(path string) (*Dataset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromBytes(data, AutoDetect)
+}
+
+// FromBytes wraps an in-memory dataset as a Source.
+func FromBytes(data []byte, format Format) (*Dataset, error) {
+	if format == AutoDetect {
+		format = DetectFormat(data)
+	}
+	if format == AutoDetect {
+		return nil, errUnknownFormat(data)
+	}
+	return &Dataset{Data: data, Format: format}, nil
+}
+
+// ReaderSource buffers r fully in memory and wraps it as a Source, for
+// piped or otherwise unseekable input that cannot be memory-mapped.
+// format may be AutoDetect.
+func ReaderSource(r io.Reader, format Format) (Source, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromBytes(data, format)
+}
+
+// MappedSource is a memory-mapped file view: the kernel pages input in
+// on demand, so opening is O(1) and resident memory tracks the query's
+// working set rather than the file size. Returned by OpenMapped.
+type MappedSource struct {
+	data   []byte
+	format Format
+	path   string
+	unmap  func() error
+	closed atomic.Bool
+}
+
+// OpenMapped maps the file at path read-only and detects its format
+// when format is AutoDetect. The mapping is shared by all queries; call
+// Close when no query is in flight to release it.
+func OpenMapped(path string, format Format) (*MappedSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mmapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("atgis: mmap %s: %w", path, err)
+	}
+	if format == AutoDetect {
+		format = DetectFormat(data)
+	}
+	if format == AutoDetect {
+		err := errUnknownFormat(data)
+		unmap()
+		return nil, err
+	}
+	return &MappedSource{data: data, format: format, path: path, unmap: unmap}, nil
+}
+
+// Bytes implements Source.
+func (s *MappedSource) Bytes() []byte { return s.data }
+
+// DataFormat implements Source.
+func (s *MappedSource) DataFormat() Format { return s.format }
+
+// Path returns the mapped file's path.
+func (s *MappedSource) Path() string { return s.path }
+
+// Close unmaps the file. Closing is idempotent; queries must not be in
+// flight (their byte view disappears with the mapping).
+func (s *MappedSource) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.data = nil
+	return s.unmap()
+}
+
+// wktKeywords are the geometry tags recognised at the start of a bare
+// WKT line (no numeric id column).
+var wktKeywords = [][]byte{
+	[]byte("POINT"),
+	[]byte("LINESTRING"),
+	[]byte("POLYGON"),
+	[]byte("MULTIPOINT"),
+	[]byte("MULTILINESTRING"),
+	[]byte("MULTIPOLYGON"),
+	[]byte("GEOMETRYCOLLECTION"),
+}
+
+// hasWKTKeyword reports whether b starts with a WKT geometry keyword
+// followed by a non-letter (so "POINTER..." does not match).
+func hasWKTKeyword(b []byte) bool {
+	for _, kw := range wktKeywords {
+		if !bytes.HasPrefix(b, kw) {
+			continue
+		}
+		if len(b) == len(kw) {
+			return true
+		}
+		c := b[len(kw)]
+		if !(c >= 'A' && c <= 'Z') && !(c >= 'a' && c <= 'z') {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectFormat inspects the head of data and classifies it as GeoJSON,
+// WKT or OSM XML, returning AutoDetect when no format matches.
+func DetectFormat(data []byte) Format {
+	head := data
+	if len(head) > 512 {
+		head = head[:512]
+	}
+	trimmed := bytes.TrimLeft(head, " \t\r\n")
+	switch {
+	case bytes.HasPrefix(trimmed, []byte("<?xml")), bytes.HasPrefix(trimmed, []byte("<osm")):
+		return OSMXML
+	case bytes.HasPrefix(trimmed, []byte("{")), bytes.HasPrefix(trimmed, []byte("[")):
+		return GeoJSON
+	case len(trimmed) > 0 && (trimmed[0] >= '0' && trimmed[0] <= '9' || trimmed[0] == '-'):
+		return WKT
+	case hasWKTKeyword(trimmed):
+		return WKT
+	default:
+		return AutoDetect
+	}
+}
+
+// errUnknownFormat builds the detection-failure error, naming the
+// supported formats and what each looks like.
+func errUnknownFormat(data []byte) error {
+	head := data
+	if len(head) > 24 {
+		head = head[:24]
+	}
+	return fmt.Errorf("atgis: cannot detect input format from %.24q; supported formats: "+
+		"GeoJSON (document starting with '{' or '['), "+
+		"WKT (one feature per line, \"<id><TAB><GEOMETRY>\" or a bare "+
+		"POINT/LINESTRING/POLYGON/MULTIPOLYGON/GEOMETRYCOLLECTION geometry), "+
+		"OSM XML (starting with '<?xml' or '<osm')", head)
+}

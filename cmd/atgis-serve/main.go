@@ -1,0 +1,113 @@
+// Command atgis-serve exposes an atgis Engine over HTTP: registered
+// datasets are memory-mapped once and served to any number of
+// concurrent tenants as streaming NDJSON query and join responses, with
+// weighted-fair admission control in front of the shared worker pool.
+//
+//	atgis-gen -n 100000 -format geojson -o data.geojson
+//	atgis-serve -listen :8080 -source data=data.geojson
+//	curl -s localhost:8080/v1/query -d '{"source":"data","kind":"aggregation","ref":[-45,-45,45,45],"want":["area"]}'
+//
+// See docs/API.md for the full HTTP surface and docs/ARCHITECTURE.md
+// for how the service layers over the engine.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"atgis"
+	"atgis/internal/server"
+)
+
+// sourceFlags collects repeated -source name=path[:format] arguments.
+type sourceFlags []string
+
+func (s *sourceFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *sourceFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("-source wants name=path[:format], got %q", v)
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve on")
+	workers := flag.Int("workers", 0, "shared worker pool size (0 = NumCPU)")
+	blockSize := flag.Int("block", 1<<20, "default block size in bytes")
+	maxInFlight := flag.Int("max-inflight", 4, "concurrently executing queries (0 disables admission control)")
+	tenantQueue := flag.Int("queue", 16, "per-tenant admission queue cap")
+	allowRegister := flag.Bool("allow-register", false,
+		"allow POST /v1/sources to map server-local files named by clients (leave off when fronting untrusted clients)")
+	var sources sourceFlags
+	flag.Var(&sources, "source", "register a dataset at startup: name=path[:format] (repeatable)")
+	flag.Parse()
+
+	eng := atgis.NewEngine(atgis.EngineConfig{
+		Workers:     *workers,
+		BlockSize:   *blockSize,
+		MaxInFlight: *maxInFlight,
+		TenantQueue: *tenantQueue,
+	})
+	defer eng.Close()
+
+	srv := server.New(server.Config{
+		Engine:        eng,
+		Options:       atgis.Options{BlockSize: *blockSize},
+		AllowRegister: *allowRegister,
+	})
+	defer srv.Close()
+
+	for _, spec := range sources {
+		name, rest, _ := strings.Cut(spec, "=")
+		path, format, _ := strings.Cut(rest, ":")
+		if err := srv.RegisterFile(name, path, format); err != nil {
+			log.Fatalf("atgis-serve: %v", err)
+		}
+		log.Printf("registered source %q from %s", name, path)
+	}
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// No WriteTimeout: query responses stream for as long as the
+		// pass runs; a dropped connection cancels the pass instead.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			hs.Close() // streams still open: cut them, their contexts cancel the passes
+		}
+	}()
+
+	log.Printf("atgis-serve listening on %s (workers=%d, max-inflight=%d)", *listen, *workers, *maxInFlight)
+	err := hs.ListenAndServe()
+	// Wait for Shutdown to drain in-flight requests before the deferred
+	// srv.Close()/eng.Close() unmap sources and stop the pool under
+	// them. stop() unblocks the goroutine when ListenAndServe failed on
+	// its own (e.g. port in use) rather than via a signal.
+	stop()
+	<-shutdownDone
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("atgis-serve: %v", err)
+	}
+	log.Printf("atgis-serve: shut down")
+}

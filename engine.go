@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"atgis/internal/admission"
 	"atgis/internal/geojson"
 	"atgis/internal/geom"
 	"atgis/internal/join"
@@ -24,7 +25,47 @@ type EngineConfig struct {
 	// BlockSize is the default block size in bytes for queries that do
 	// not set Options.BlockSize (0 = 1 MiB).
 	BlockSize int
+
+	// MaxInFlight, when positive, enables admission control: at most
+	// this many queries (Execute, Stream, Join, JoinStream, Combined,
+	// CollectFeatures passes) run concurrently; further queries wait in
+	// per-tenant FIFO queues served by weighted round-robin, so one
+	// flooding tenant cannot starve the others. Zero disables admission
+	// (the pool still bounds CPU, but not queueing).
+	MaxInFlight int
+	// TenantQueue caps each tenant's waiting queries when MaxInFlight
+	// is set (0 = 16). A query arriving with its tenant's queue full
+	// fails fast with an error matching admission.ErrOverloaded that
+	// carries a Retry-After estimate.
+	TenantQueue int
+	// TenantWeights optionally assigns round-robin weights per tenant
+	// (absent tenants weigh 1). Tag query contexts with WithTenant.
+	TenantWeights map[string]int
 }
+
+// defaultTenantQueue is the per-tenant queue cap when admission is
+// enabled without an explicit TenantQueue.
+const defaultTenantQueue = 16
+
+// WithTenant tags ctx with a tenant name for admission accounting and
+// fairness. Untagged contexts share the anonymous tenant "".
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return admission.WithTenant(ctx, tenant)
+}
+
+// ErrOverloaded is the sentinel matched (errors.Is) by admission
+// rejections; the concrete error is *OverloadError. Re-exported from
+// the internal admission package so callers outside this module can
+// match rejections.
+var ErrOverloaded = admission.ErrOverloaded
+
+// OverloadError is the admission-rejection error (errors.As), carrying
+// the tenant, its queue depth and a Retry-After estimate.
+type OverloadError = admission.OverloadError
+
+// AdmissionStats is the admission gate's snapshot type, carried in
+// EngineStats.Admission.
+type AdmissionStats = admission.Stats
 
 // Engine executes queries. It owns a persistent worker pool shared by
 // every query it runs, so many concurrent requests against one or more
@@ -39,12 +80,70 @@ type EngineConfig struct {
 type Engine struct {
 	blockSize int
 	pool      *pipeline.Pool
+	gate      *admission.Gate // nil = no admission control
 	closed    atomic.Bool
 }
 
-// NewEngine starts an engine with a shared worker pool.
+// NewEngine starts an engine with a shared worker pool and, when
+// cfg.MaxInFlight is positive, an admission gate in front of query
+// execution.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPool(cfg.Workers)}
+	e := &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPool(cfg.Workers)}
+	if cfg.MaxInFlight > 0 {
+		queue := cfg.TenantQueue
+		if queue == 0 {
+			queue = defaultTenantQueue
+		}
+		e.gate = admission.New(admission.Config{
+			MaxInFlight: cfg.MaxInFlight,
+			MaxQueued:   queue,
+			Weights:     cfg.TenantWeights,
+		})
+	}
+	return e
+}
+
+// admit passes the query through the engine's admission gate (if any),
+// returning the release to defer. The tenant comes from ctx
+// (WithTenant); engines without admission admit immediately.
+func (e *Engine) admit(ctx context.Context) (func(), error) {
+	if e == nil || e.gate == nil {
+		return func() {}, nil
+	}
+	return e.gate.Acquire(ctx, admission.Tenant(ctx))
+}
+
+// PoolStats reports shared-pool utilisation.
+type PoolStats struct {
+	// Workers is the pool size (0 for pool-less engines, whose queries
+	// run on transient goroutines).
+	Workers int `json:"workers"`
+	// Busy is the number of workers currently executing a task.
+	Busy int `json:"busy"`
+}
+
+// EngineStats is a point-in-time operational snapshot of an engine,
+// surfaced by atgis-serve's GET /v1/stats.
+type EngineStats struct {
+	Pool PoolStats `json:"pool"`
+	// Admission is nil when admission control is disabled.
+	Admission *AdmissionStats `json:"admission,omitempty"`
+}
+
+// Stats snapshots pool utilisation and admission-queue state.
+func (e *Engine) Stats() EngineStats {
+	var st EngineStats
+	if e == nil {
+		return st
+	}
+	if e.pool != nil {
+		st.Pool = PoolStats{Workers: e.pool.Size(), Busy: e.pool.Busy()}
+	}
+	if e.gate != nil {
+		snap := e.gate.Snapshot()
+		st.Admission = &snap
+	}
+	return st
 }
 
 // Close stops the engine's worker pool. Queries must not be in flight;
@@ -105,11 +204,15 @@ func (e *Engine) CollectFeatures(ctx context.Context, src Source, opt Options) (
 	if err := e.check(); err != nil {
 		return nil, err
 	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	opt = e.opts(opt)
 	data := src.Bytes()
 	var feats []geom.Feature
 	consume := func(f *geom.Feature) { feats = append(feats, *f) }
-	var err error
 	switch src.DataFormat() {
 	case GeoJSON:
 		_, _, _, err = e.runGeoJSONWith(ctx, data, &geojson.Config{PropKeys: opt.PropKeys}, opt,
@@ -311,13 +414,26 @@ func (e *Engine) runOSM(ctx context.Context, data []byte, opt Options, consume f
 // Join executes the two-pass PBSM join (Fig. 6 then Fig. 8) over src,
 // buffering the full pair set; JoinStream is the iterator form.
 func (e *Engine) Join(ctx context.Context, src Source, spec JoinSpec, opt Options) (*JoinResult, error) {
+	// Check before admitting (like every other entry point): a closed
+	// engine must report ErrEngineClosed, not occupy a slot and risk
+	// being misreported as overload.
+	if err := e.check(); err != nil {
+		return nil, err
+	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	jr, _, err := e.join(ctx, src, spec, opt)
 	return jr, err
 }
 
 // join is Join plus the reparser it built, so callers that keep
 // re-parsing joined objects (Combined's union aggregate) reuse it —
-// for OSM XML the reparser costs a full parallel pass to build.
+// for OSM XML the reparser costs a full parallel pass to build. The
+// caller admits (Join, Combined): admission must span everything the
+// caller does with the reparser, not just the join passes.
 func (e *Engine) join(ctx context.Context, src Source, spec JoinSpec, opt Options) (*JoinResult, join.Reparser, error) {
 	if err := e.check(); err != nil {
 		return nil, nil, err
@@ -507,6 +623,14 @@ func (e *Engine) Combined(ctx context.Context, src Source, spec CombinedSpec, op
 	if err := e.check(); err != nil {
 		return nil, err
 	}
+	// Admit here rather than in the inner join: the per-pair union-area
+	// aggregation below is the expensive part and must stay inside the
+	// admission slot.
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if spec.CellSize <= 0 {
 		spec.CellSize = 1
 	}

@@ -1,0 +1,369 @@
+// Package admission implements weighted-fair admission control for the
+// query engine. The shared worker pool (internal/pipeline.Pool) bounds
+// how much CPU concurrent queries consume, but nothing in the execution
+// layer bounds how many queries pile up behind it: one tenant issuing
+// requests faster than they complete would queue without limit and
+// starve everyone else's latency.
+//
+// A Gate sits in front of query execution and enforces three rules:
+//
+//   - at most MaxInFlight queries execute at once;
+//   - each tenant may have at most MaxQueued queries waiting — beyond
+//     that, Acquire fails fast with an *OverloadError carrying a
+//     Retry-After estimate (HTTP front-ends translate this to 429);
+//   - freed slots are granted by weighted round-robin across tenants
+//     with queued work, FIFO within each tenant, so a flooding tenant
+//     fills only its own queue and a quiet tenant's next query waits
+//     behind at most one scheduling round, not the flood's backlog.
+//
+// Tenants are identified by a string carried in the context
+// (WithTenant / Tenant); requests without a tenant share the anonymous
+// "" tenant. The Gate is used by atgis.Engine when EngineConfig
+// enables admission, so library callers and the atgis-serve HTTP
+// front-end get identical protection.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config sizes a Gate.
+type Config struct {
+	// MaxInFlight is the number of queries that may execute
+	// concurrently. Values below 1 are clamped to 1.
+	MaxInFlight int
+	// MaxQueued caps each tenant's waiting queries (beyond the ones in
+	// flight). Zero or negative means no waiting: Acquire rejects
+	// whenever no slot is immediately free.
+	MaxQueued int
+	// Weights optionally assigns per-tenant round-robin weights: a
+	// tenant with weight w is granted up to w consecutive slots per
+	// scheduling round. Tenants absent from the map (and all tenants
+	// when the map is nil) have weight 1.
+	Weights map[string]int
+}
+
+// ErrOverloaded is the sentinel matched by errors.Is for admission
+// rejections; the concrete error is *OverloadError.
+var ErrOverloaded = errors.New("admission: overloaded")
+
+// OverloadError reports an admission rejection: the tenant's queue was
+// full (or queueing is disabled and no slot was free).
+type OverloadError struct {
+	// Tenant is the rejected tenant.
+	Tenant string
+	// Queued is the tenant's queue length at rejection.
+	Queued int
+	// RetryAfter estimates when a retry could be admitted, derived
+	// from the smoothed hold time of recent queries and the current
+	// backlog. HTTP front-ends surface it as a Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("admission: tenant %q overloaded (%d queued); retry after %v",
+		e.Tenant, e.Queued, e.RetryAfter)
+}
+
+// Is matches ErrOverloaded.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Stats is a point-in-time snapshot of a Gate.
+type Stats struct {
+	// InFlight and MaxInFlight describe slot usage.
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+	// Queued maps each tenant with waiting queries to its queue depth.
+	Queued map[string]int `json:"queued,omitempty"`
+	// QueuedTotal is the sum of all queue depths.
+	QueuedTotal int `json:"queued_total"`
+	// Admitted, Rejected and Cancelled count Acquire outcomes since the
+	// gate was created (Cancelled: context cancelled while queued).
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Cancelled uint64 `json:"cancelled"`
+}
+
+// waiter is one queued Acquire. admitted is written under the gate
+// mutex; ch closes on admission.
+type waiter struct {
+	ch       chan struct{}
+	admitted bool
+}
+
+// tenantQueue is one tenant's FIFO of waiters plus its position in the
+// current weighted round.
+type tenantQueue struct {
+	waiters []*waiter
+	served  int // slots granted in the current round-robin visit
+}
+
+// Gate is a weighted-fair admission gate. The zero value is not usable;
+// construct with New. A nil *Gate admits everything (no-op), which is
+// how an Engine without admission control runs.
+type Gate struct {
+	mu  sync.Mutex
+	cfg Config
+
+	inflight int
+	queues   map[string]*tenantQueue
+	// order lists tenants with non-empty queues in round-robin order;
+	// rr indexes the tenant owning the current quantum.
+	order []string
+	rr    int
+
+	admitted  uint64
+	rejected  uint64
+	cancelled uint64
+	// holdEWMA smooths the observed acquire→release hold time, feeding
+	// the Retry-After estimate.
+	holdEWMA time.Duration
+}
+
+// New builds a gate from cfg.
+func New(cfg Config) *Gate {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 1
+	}
+	if cfg.MaxQueued < 0 {
+		cfg.MaxQueued = 0
+	}
+	return &Gate{cfg: cfg, queues: make(map[string]*tenantQueue)}
+}
+
+// Acquire requests an execution slot for ctx's duration, blocking in
+// the tenant's FIFO queue until one is granted, and returns the release
+// function the caller must invoke when the query finishes (it is safe
+// to call once; typically deferred). It fails fast with *OverloadError
+// when the tenant's queue is full, and with ctx.Err() if ctx is
+// cancelled while waiting. A nil gate admits immediately.
+func (g *Gate) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	tq := g.queues[tenant]
+	qlen := 0
+	if tq != nil {
+		qlen = len(tq.waiters)
+	}
+	if g.inflight >= g.cfg.MaxInFlight && qlen >= g.cfg.MaxQueued {
+		g.rejected++
+		oe := &OverloadError{Tenant: tenant, Queued: qlen, RetryAfter: g.retryAfterLocked()}
+		g.mu.Unlock()
+		return nil, oe
+	}
+	// Tenant entries exist only while waiters are queued, so tenant-name
+	// cardinality does not grow the gate.
+	if tq == nil {
+		tq = &tenantQueue{}
+		g.queues[tenant] = tq
+	}
+	w := &waiter{ch: make(chan struct{})}
+	if len(tq.waiters) == 0 {
+		g.order = append(g.order, tenant)
+	}
+	tq.waiters = append(tq.waiters, w)
+	g.dispatchLocked()
+	g.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		start := time.Now()
+		var once sync.Once
+		return func() { once.Do(func() { g.release(start) }) }, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.admitted {
+			// Lost the race: a slot was granted between cancellation and
+			// locking. Hand it straight back, and reclassify the grant as
+			// cancelled so Admitted counts only queries that ran
+			// (Admitted + Rejected + Cancelled == total Acquires).
+			g.inflight--
+			g.admitted--
+			g.cancelled++
+			g.dispatchLocked()
+			g.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		g.removeWaiterLocked(tenant, w)
+		g.cancelled++
+		g.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a slot and hands it to the next waiter.
+func (g *Gate) release(start time.Time) {
+	hold := time.Since(start)
+	g.mu.Lock()
+	g.inflight--
+	if g.holdEWMA == 0 {
+		g.holdEWMA = hold
+	} else {
+		g.holdEWMA = (3*g.holdEWMA + hold) / 4
+	}
+	g.dispatchLocked()
+	g.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to queued waiters by weighted
+// round-robin across tenants, FIFO within each tenant.
+func (g *Gate) dispatchLocked() {
+	for g.inflight < g.cfg.MaxInFlight {
+		w, ok := g.nextLocked()
+		if !ok {
+			return
+		}
+		w.admitted = true
+		close(w.ch)
+		g.inflight++
+		g.admitted++
+	}
+}
+
+// nextLocked pops the next waiter under the weighted round-robin
+// policy: the tenant at the rr cursor is served up to its weight, then
+// the cursor advances.
+func (g *Gate) nextLocked() (*waiter, bool) {
+	if len(g.order) == 0 {
+		return nil, false
+	}
+	if g.rr >= len(g.order) {
+		g.rr = 0
+	}
+	name := g.order[g.rr]
+	tq := g.queues[name]
+	w := tq.waiters[0]
+	tq.waiters[0] = nil
+	tq.waiters = tq.waiters[1:]
+	tq.served++
+	if len(tq.waiters) == 0 {
+		delete(g.queues, name)
+		g.removeOrderLocked(g.rr)
+	} else if tq.served >= g.weight(name) {
+		tq.served = 0
+		g.rr++
+		if g.rr >= len(g.order) {
+			g.rr = 0
+		}
+	}
+	return w, true
+}
+
+// weight returns the tenant's configured round-robin weight (minimum 1).
+func (g *Gate) weight(tenant string) int {
+	if w, ok := g.cfg.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// removeOrderLocked drops order[i], keeping the rr cursor on the same
+// logical successor.
+func (g *Gate) removeOrderLocked(i int) {
+	g.order = append(g.order[:i], g.order[i+1:]...)
+	if g.rr > i {
+		g.rr--
+	}
+	if g.rr >= len(g.order) {
+		g.rr = 0
+	}
+}
+
+// removeWaiterLocked unlinks a cancelled waiter from its tenant queue.
+func (g *Gate) removeWaiterLocked(tenant string, w *waiter) {
+	tq := g.queues[tenant]
+	if tq == nil {
+		return
+	}
+	for i, q := range tq.waiters {
+		if q == w {
+			tq.waiters = append(tq.waiters[:i], tq.waiters[i+1:]...)
+			break
+		}
+	}
+	if len(tq.waiters) == 0 {
+		delete(g.queues, tenant)
+		for i, name := range g.order {
+			if name == tenant {
+				g.removeOrderLocked(i)
+				break
+			}
+		}
+	}
+}
+
+// retryAfterLocked estimates how long a rejected request should wait:
+// the backlog ahead of it (everything in flight plus everything queued)
+// drained at MaxInFlight-way parallelism, each slot holding for the
+// smoothed observed duration. Clamped to [100ms, 60s].
+func (g *Gate) retryAfterLocked() time.Duration {
+	hold := g.holdEWMA
+	if hold <= 0 {
+		hold = 100 * time.Millisecond
+	}
+	backlog := g.inflight
+	for _, tq := range g.queues {
+		backlog += len(tq.waiters)
+	}
+	est := hold * time.Duration(backlog/g.cfg.MaxInFlight+1)
+	if est < 100*time.Millisecond {
+		est = 100 * time.Millisecond
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// Snapshot returns current gate statistics. A nil gate returns the
+// zero Stats.
+func (g *Gate) Snapshot() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Stats{
+		InFlight:    g.inflight,
+		MaxInFlight: g.cfg.MaxInFlight,
+		Admitted:    g.admitted,
+		Rejected:    g.rejected,
+		Cancelled:   g.cancelled,
+	}
+	for name, tq := range g.queues {
+		if len(tq.waiters) == 0 {
+			continue
+		}
+		if st.Queued == nil {
+			st.Queued = make(map[string]int)
+		}
+		st.Queued[name] = len(tq.waiters)
+		st.QueuedTotal += len(tq.waiters)
+	}
+	return st
+}
+
+// tenantKey carries the tenant name in a context.
+type tenantKey struct{}
+
+// WithTenant tags ctx with the tenant name used for admission
+// accounting and fairness.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// Tenant extracts the tenant name from ctx ("" when untagged — the
+// anonymous tenant).
+func Tenant(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

@@ -10,6 +10,20 @@
 // demand with a bounded cache; REFINE runs the exact predicate; and a
 // final offset-pair sort removes the duplicates that non-disjoint
 // partitions introduce.
+//
+// Two flavours exist: Run buffers, sorts and globally deduplicates the
+// pair set (deterministic order), while RunStream emits pairs as each
+// cell's refinement finds them, suppressing duplicates at the source
+// with the reference-point test (nothing buffers; order is
+// nondeterministic). Engine.Join/JoinStream wrap them; atgis-serve's
+// POST /v1/join streams RunStream's pairs straight onto the wire.
+//
+// Sweep workers take Config.Go so an engine can run them on its shared
+// pipeline.Pool: joins then contend for the same bounded worker set as
+// queries instead of spawning goroutines per call. Partitions store
+// only MBRs and byte offsets (paper §4.5) — geometry is re-parsed from
+// the raw input through the Reparser, keeping the partition phase's
+// memory footprint proportional to feature count, not geometry size.
 package join
 
 import (
@@ -165,6 +179,29 @@ func run(a, b *partition.Set, cfg Config, newEmit func() (emit func(Pair), finis
 	if spawn == nil {
 		spawn = func(f func()) bool { go f(); return true }
 	}
+	// Feed cells before spawning: spawn may block waiting for a shared
+	// pool slot (Config.Go), and with several joins contending for the
+	// pool each may get only one worker scheduled. That worker must be
+	// able to drain the whole sweep — and free its slot for the others —
+	// which requires the feeder to already be running. (Spawning first
+	// deadlocked: every join holding one idle worker, every feeder
+	// unstarted behind a blocked spawn.)
+	done := cfg.done()
+	go func() {
+		for c := 0; c < cells; c += cellBatch {
+			end := c + cellBatch
+			if end > cells {
+				end = cells
+			}
+			select {
+			case cellCh <- [2]int{c, end}:
+			case <-done:
+				close(cellCh)
+				return
+			}
+		}
+		close(cellCh)
+	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		scheduled := spawn(func() {
@@ -194,22 +231,6 @@ func run(a, b *partition.Set, cfg Config, newEmit func() (emit func(Pair), finis
 			break
 		}
 	}
-	done := cfg.done()
-	go func() {
-		for c := 0; c < cells; c += cellBatch {
-			end := c + cellBatch
-			if end > cells {
-				end = cells
-			}
-			select {
-			case cellCh <- [2]int{c, end}:
-			case <-done:
-				close(cellCh)
-				return
-			}
-		}
-		close(cellCh)
-	}()
 	wg.Wait()
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 		return st, cfg.Ctx.Err()

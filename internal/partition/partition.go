@@ -10,6 +10,16 @@
 // partitioning can run either inside the associative pipeline (merged
 // per block) or as a separate sequential phase, the trade-offs measured
 // by the paper's Fig. 15.
+//
+// The grid is the hand-off point between a join's two passes: the
+// partition pass (query.PartitionSink, fed by the same parallel
+// pipeline as single-pass queries) bins each feature's MBR + file
+// offset into every overlapped cell, and the join sweep
+// (internal/join) then walks cells independently. Grid.CellOf also
+// serves the reference-point duplicate test that lets the streaming
+// join skip the terminal dedup sort. Cell size is set in degrees
+// (paper §5.6); the world extent is fixed for geographic data, so a
+// grid is just a cheap value type constructed per join.
 package partition
 
 import (

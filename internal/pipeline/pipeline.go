@@ -17,6 +17,17 @@
 // blocks and skips unprocessed ones. Workers come either from a run-local
 // set of goroutines or from a shared persistent Pool, which lets many
 // concurrent queries share one bounded set of processing threads.
+//
+// Position in the system (docs/ARCHITECTURE.md has the full layer
+// diagram): every execution path of the public API bottoms out here —
+// PreparedQuery passes, the join's partition pass, and CollectFeatures
+// all assemble a splitter + per-block processor + ordered fold and hand
+// them to RunCtx. An atgis.Engine owns one Pool for all of them; the
+// Pool's Busy gauge is what Engine.Stats and the atgis-serve
+// /v1/stats endpoint report as utilisation. The pipeline itself never
+// bounds how many runs are in flight — that is admission control's job
+// (internal/admission), which gates runs before they reach this
+// package.
 package pipeline
 
 import (

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a persistent worker pool shared by many pipeline runs. An
@@ -14,6 +15,7 @@ import (
 type Pool struct {
 	tasks chan func()
 	size  int
+	busy  atomic.Int64
 	wg    sync.WaitGroup
 	once  sync.Once
 }
@@ -30,7 +32,9 @@ func NewPool(size int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for f := range p.tasks {
+				p.busy.Add(1)
 				f()
+				p.busy.Add(-1)
 			}
 		}()
 	}
@@ -39,6 +43,12 @@ func NewPool(size int) *Pool {
 
 // Size returns the number of workers.
 func (p *Pool) Size() int { return p.size }
+
+// Busy returns the number of workers currently executing a task — the
+// pool-utilisation gauge surfaced by Engine.Stats and the atgis-serve
+// stats endpoint. Long-lived tasks (join sweep workers) count for their
+// whole residency.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
 // SubmitCtx hands f to a pool worker, blocking until one accepts it or
 // ctx is cancelled, and reports whether f was scheduled. Used for

@@ -1,0 +1,580 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"atgis"
+	"atgis/internal/geom"
+	"atgis/internal/query"
+)
+
+// maxRequestBody bounds request JSON (the bodies are tiny specs).
+const maxRequestBody = 1 << 20
+
+// errorBody is the JSON error envelope for non-streaming failures.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError emits a JSON error with status code; 429s carry the
+// Retry-After estimate rounded up to whole seconds.
+func writeError(w http.ResponseWriter, status int, retryAfter time.Duration, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests && retryAfter > 0 {
+		secs := int(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeExecError maps an engine execution error onto an HTTP status:
+// admission overload → 429 + Retry-After, closed engine → 503,
+// anything else → 500. Cancellation of the request's own context means
+// the client is gone; nothing useful can be written.
+func writeExecError(w http.ResponseWriter, err error) {
+	var oe *atgis.OverloadError
+	switch {
+	case errors.As(err, &oe):
+		writeError(w, http.StatusTooManyRequests, oe.RetryAfter,
+			"overloaded: %d queued for tenant %q", oe.Queued, oe.Tenant)
+	case errors.Is(err, atgis.ErrEngineClosed):
+		writeError(w, http.StatusServiceUnavailable, 0, "engine shutting down")
+	default:
+		writeError(w, http.StatusInternalServerError, 0, "query failed: %v", err)
+	}
+}
+
+// decodeBody parses the request JSON into v with a size cap.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// sourceInfo describes one registered source on the wire.
+type sourceInfo struct {
+	Name   string `json:"name"`
+	Path   string `json:"path,omitempty"`
+	Format string `json:"format"`
+	Bytes  int64  `json:"bytes"`
+	Passes int64  `json:"passes"`
+}
+
+func (e *sourceEntry) info() sourceInfo {
+	return sourceInfo{
+		Name:   e.name,
+		Path:   e.path,
+		Format: e.src.DataFormat().String(),
+		Bytes:  int64(len(e.src.Bytes())),
+		Passes: e.passes.Load(),
+	}
+}
+
+// statsResponse is the GET /v1/stats payload.
+type statsResponse struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Engine        atgis.EngineStats     `json:"engine"`
+	Sources       map[string]sourceInfo `json:"sources"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Engine:        s.eng.Stats(),
+		Sources:       make(map[string]sourceInfo),
+	}
+	s.mu.RLock()
+	for name, e := range s.sources {
+		resp.Sources[name] = e.info()
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleListSources(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]sourceInfo, 0, len(s.sources))
+	for _, e := range s.sources {
+		infos = append(infos, e.info())
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"sources": infos})
+}
+
+// registerRequest is the POST /v1/sources body. Path names a file on
+// the server host; it is memory-mapped, never copied.
+type registerRequest struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Format string `json:"format,omitempty"`
+}
+
+func (s *Server) handleRegisterSource(w http.ResponseWriter, r *http.Request) {
+	if !s.allow {
+		writeError(w, http.StatusForbidden, 0, "source registration disabled (-allow-register)")
+		return
+	}
+	var req registerRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		writeError(w, http.StatusBadRequest, 0, "name and path are required")
+		return
+	}
+	if err := s.RegisterFile(req.Name, req.Path, req.Format); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDuplicateSource) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, 0, "register %q: %v", req.Name, err)
+		return
+	}
+	e, _ := s.source(req.Name)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(e.info())
+}
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// Source names a registered source.
+	Source string `json:"source"`
+	// Kind is "containment" (streams matching features) or
+	// "aggregation" (summary only).
+	Kind string `json:"kind"`
+	// Ref is the reference box [minx, miny, maxx, maxy].
+	Ref []float64 `json:"ref"`
+	// Predicate relates candidates to Ref: intersects (default),
+	// within, contains, disjoint.
+	Predicate string `json:"predicate,omitempty"`
+	// Want selects aggregates: "area", "perimeter", "mbr".
+	Want []string `json:"want,omitempty"`
+	// Mode is "pat" (default) or "fat"; Filter "streaming" (default)
+	// or "buffered"; Dist "haversine" (default), "spherical",
+	// "andoyer".
+	Mode   string `json:"mode,omitempty"`
+	Filter string `json:"filter,omitempty"`
+	Dist   string `json:"dist,omitempty"`
+	// BlockSize overrides the engine's block size (bytes).
+	BlockSize int `json:"block_size,omitempty"`
+	// PropKeys lists GeoJSON property keys to extract per feature.
+	PropKeys []string `json:"prop_keys,omitempty"`
+	// Limit caps the number of streamed feature records (0 = all).
+	// The pass still completes, so the summary covers the full input.
+	Limit int `json:"limit,omitempty"`
+}
+
+// compile validates the request into a query spec plus options.
+func (q *queryRequest) compile(base atgis.Options) (*query.Spec, atgis.Options, error) {
+	spec := &query.Spec{}
+	switch q.Kind {
+	case "containment":
+		spec.Kind = query.Containment
+	case "aggregation":
+		spec.Kind = query.Aggregation
+	default:
+		return nil, base, fmt.Errorf("kind must be containment or aggregation, got %q", q.Kind)
+	}
+	if len(q.Ref) != 4 {
+		return nil, base, fmt.Errorf("ref must be [minx, miny, maxx, maxy]")
+	}
+	spec.Ref = geom.Box{MinX: q.Ref[0], MinY: q.Ref[1], MaxX: q.Ref[2], MaxY: q.Ref[3]}.AsPolygon()
+	switch q.Predicate {
+	case "", "intersects":
+		spec.Pred = query.PredIntersects
+	case "within":
+		spec.Pred = query.PredWithin
+	case "contains":
+		spec.Pred = query.PredContains
+	case "disjoint":
+		spec.Pred = query.PredDisjoint
+	default:
+		return nil, base, fmt.Errorf("unknown predicate %q", q.Predicate)
+	}
+	for _, wnt := range q.Want {
+		switch wnt {
+		case "area":
+			spec.WantArea = true
+		case "perimeter":
+			spec.WantPerimeter = true
+		case "mbr":
+			spec.WantMBR = true
+		default:
+			return nil, base, fmt.Errorf("unknown aggregate %q (area | perimeter | mbr)", wnt)
+		}
+	}
+	switch q.Filter {
+	case "", "streaming":
+	case "buffered":
+		spec.Mode = query.Buffered
+	default:
+		return nil, base, fmt.Errorf("filter must be streaming or buffered, got %q", q.Filter)
+	}
+	switch q.Dist {
+	case "", "haversine":
+		spec.Dist = geom.Haversine
+	case "spherical":
+		spec.Dist = geom.SphericalProjection
+	case "andoyer":
+		spec.Dist = geom.Andoyer
+	default:
+		return nil, base, fmt.Errorf("unknown dist %q", q.Dist)
+	}
+
+	opt := base
+	switch q.Mode {
+	case "": // inherit the server's configured default mode
+	case "pat":
+		opt.Mode = atgis.PAT
+	case "fat":
+		opt.Mode = atgis.FAT
+	default:
+		return nil, base, fmt.Errorf("mode must be pat or fat, got %q", q.Mode)
+	}
+	if q.BlockSize > 0 {
+		opt.BlockSize = q.BlockSize
+	}
+	if len(q.PropKeys) > 0 {
+		opt.PropKeys = q.PropKeys
+	}
+	if q.Limit < 0 {
+		return nil, base, fmt.Errorf("limit must be >= 0")
+	}
+	return spec, opt, nil
+}
+
+// featureRecord is one streamed match.
+type featureRecord struct {
+	Type       string            `json:"type"` // "feature"
+	ID         int64             `json:"id"`
+	Offset     int64             `json:"offset"`
+	BBox       [4]float64        `json:"bbox"`
+	Area       float64           `json:"area,omitempty"`
+	Perimeter  float64           `json:"perimeter,omitempty"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+// querySummary is the terminal record of a query stream.
+type querySummary struct {
+	Type         string      `json:"type"` // "summary"
+	Matched      int64       `json:"matched"`
+	Scanned      int64       `json:"scanned"`
+	SumArea      float64     `json:"sum_area,omitempty"`
+	SumPerimeter float64     `json:"sum_perimeter,omitempty"`
+	MBR          *[4]float64 `json:"mbr,omitempty"`
+	WallMS       float64     `json:"wall_ms"`
+	MBPerS       float64     `json:"mb_per_s"`
+	Blocks       int         `json:"blocks"`
+	Workers      int         `json:"workers"`
+	Repaired     int         `json:"repaired,omitempty"`
+	Reprocessed  int         `json:"reprocessed,omitempty"`
+}
+
+func summarize(res *atgis.Result) querySummary {
+	sum := querySummary{
+		Type:         "summary",
+		Matched:      res.Res.Count,
+		Scanned:      res.Res.Scanned,
+		SumArea:      res.Res.SumArea,
+		SumPerimeter: res.Res.SumPerimeter,
+		WallMS:       float64(res.Stats.Total().Microseconds()) / 1e3,
+		MBPerS:       res.Stats.ThroughputMBs(),
+		Blocks:       res.Stats.Blocks,
+		Workers:      res.Stats.Workers,
+		Repaired:     res.Repaired,
+		Reprocessed:  res.Reprocessed,
+	}
+	if !res.Res.MBR.IsEmpty() {
+		sum.MBR = &[4]float64{res.Res.MBR.MinX, res.Res.MBR.MinY, res.Res.MBR.MaxX, res.Res.MBR.MaxY}
+	}
+	return sum
+}
+
+// ndjsonWriter serialises stream records and flushes them promptly so
+// clients see results while the pass is still running.
+type ndjsonWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+// start commits the 200 + NDJSON header; no error status can be sent
+// afterwards.
+func (n *ndjsonWriter) start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.w.Header().Set("Content-Type", "application/x-ndjson")
+	n.w.WriteHeader(http.StatusOK)
+}
+
+// write emits one record; a false return means to stop streaming. A
+// record that cannot be marshalled (NaN/Inf aggregates from degenerate
+// geometry) is reported to the client as an in-band error record
+// instead of being confused with a dead connection, which would
+// silently truncate the stream.
+func (n *ndjsonWriter) write(v any) bool {
+	b, err := json.Marshal(v)
+	if err != nil {
+		eb, merr := json.Marshal(map[string]string{"type": "error", "error": "encode record: " + err.Error()})
+		if merr == nil {
+			n.writeRaw(eb)
+		}
+		return false
+	}
+	return n.writeRaw(b)
+}
+
+// writeRaw sends one pre-marshalled NDJSON line; false means the
+// client is gone.
+func (n *ndjsonWriter) writeRaw(line []byte) bool {
+	n.start()
+	if _, err := n.w.Write(append(line, '\n')); err != nil {
+		return false
+	}
+	if n.flusher != nil {
+		n.flusher.Flush()
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	entry, ok := s.source(req.Source)
+	if !ok {
+		writeError(w, http.StatusNotFound, 0, "unknown source %q", req.Source)
+		return
+	}
+	spec, opt, err := req.compile(s.opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, 0, "%v", err)
+		return
+	}
+	pq, err := s.eng.Prepare(spec, opt)
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
+
+	// The request context carries the tenant for admission and feeds
+	// the engine's cancellation path: a dropped connection cancels it,
+	// which stops the splitter and skips queued blocks mid-pass.
+	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
+	out := &ndjsonWriter{w: w}
+	out.flusher, _ = w.(http.Flusher)
+
+	if spec.Kind == query.Aggregation {
+		res, err := pq.Execute(ctx, entry.src)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nowhere to report
+			}
+			writeExecError(w, err)
+			return
+		}
+		entry.passes.Add(1)
+		out.write(summarize(res))
+		return
+	}
+
+	// Containment: stream matches as the pipeline merges them.
+	res := pq.Stream(ctx, entry.src)
+	defer res.Close()
+	streamed := 0
+	for res.Next() {
+		if req.Limit > 0 && streamed >= req.Limit {
+			break // summary below still covers the full pass
+		}
+		f := res.Feature()
+		v := res.Value()
+		b := f.Geom.Bound()
+		rec := featureRecord{
+			Type:   "feature",
+			ID:     f.ID,
+			Offset: f.Offset,
+			BBox:   [4]float64{b.MinX, b.MinY, b.MaxX, b.MaxY},
+		}
+		if spec.WantArea {
+			rec.Area = v.Area
+		}
+		if spec.WantPerimeter {
+			rec.Perimeter = v.Perimeter
+		}
+		if len(opt.PropKeys) > 0 {
+			rec.Properties = f.Properties
+		}
+		if !out.write(rec) {
+			return // client gone; deferred Close aborts the pass
+		}
+		streamed++
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		if !out.started {
+			writeExecError(w, err)
+			return
+		}
+		// The stream already committed a 200; report in-band.
+		out.write(map[string]string{"type": "error", "error": err.Error()})
+		return
+	}
+	entry.passes.Add(1)
+	out.write(summarize(sum))
+}
+
+// minJoinCell bounds how fine a partition grid a request may demand.
+// The grid covers the world extent, so cells = (360/cell)·(180/cell):
+// an unbounded value would let one request allocate a grid with
+// billions of cells (the partition pass builds one sink per pipeline
+// fragment) and take the process down.
+const minJoinCell = 0.1 // ≈6.5M cells
+
+// joinRequest is the POST /v1/join body.
+type joinRequest struct {
+	// Source names a registered source.
+	Source string `json:"source"`
+	// Cell is the partition cell size in degrees (default 1,
+	// minimum 0.1).
+	Cell float64 `json:"cell,omitempty"`
+	// Mask splits the dataset into the two join sides: "parity"
+	// (default; even ids join odd ids) or "both" (every feature on
+	// both sides — a self-join with identical pairs suppressed).
+	Mask string `json:"mask,omitempty"`
+	// BlockSize overrides the engine's block size (bytes).
+	BlockSize int `json:"block_size,omitempty"`
+	// Limit caps the number of streamed pair records (0 = all).
+	Limit int `json:"limit,omitempty"`
+}
+
+// pairRecord is one streamed joined pair.
+type pairRecord struct {
+	Type string `json:"type"` // "pair"
+	AID  int64  `json:"a_id"`
+	BID  int64  `json:"b_id"`
+	AOff int64  `json:"a_off"`
+	BOff int64  `json:"b_off"`
+}
+
+// joinSummary is the terminal record of a join stream.
+type joinSummary struct {
+	Type        string  `json:"type"` // "summary"
+	Streamed    int     `json:"streamed"`
+	Candidates  int64   `json:"candidates"`
+	Refined     int64   `json:"refined"`
+	Duplicates  int64   `json:"duplicates"`
+	PartitionMS float64 `json:"partition_ms"`
+	MBPerS      float64 `json:"mb_per_s"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	entry, ok := s.source(req.Source)
+	if !ok {
+		writeError(w, http.StatusNotFound, 0, "unknown source %q", req.Source)
+		return
+	}
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, 0, "limit must be >= 0")
+		return
+	}
+	if req.Cell != 0 && (req.Cell < minJoinCell || req.Cell > 360) {
+		writeError(w, http.StatusBadRequest, 0, "cell must be between %g and 360 degrees", minJoinCell)
+		return
+	}
+	spec := atgis.JoinSpec{CellSize: req.Cell}
+	selfJoin := false
+	switch req.Mask {
+	case "", "parity":
+		spec.Mask = func(f *geom.Feature) uint8 {
+			if f.ID%2 == 0 {
+				return query.SideA
+			}
+			return query.SideB
+		}
+	case "both":
+		selfJoin = true
+		spec.Mask = func(*geom.Feature) uint8 { return query.SideA | query.SideB }
+	default:
+		writeError(w, http.StatusBadRequest, 0, "mask must be parity or both, got %q", req.Mask)
+		return
+	}
+	opt := s.opt
+	if req.BlockSize > 0 {
+		opt.BlockSize = req.BlockSize
+	}
+
+	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
+	out := &ndjsonWriter{w: w}
+	out.flusher, _ = w.(http.Flusher)
+
+	pairs := s.eng.JoinStream(ctx, entry.src, spec, opt)
+	defer pairs.Close()
+	streamed := 0
+	for pairs.Next() {
+		p := pairs.Pair()
+		if selfJoin && p.AOff == p.BOff {
+			continue // an object trivially intersects itself
+		}
+		if req.Limit > 0 && streamed >= req.Limit {
+			break
+		}
+		if !out.write(pairRecord{Type: "pair", AID: p.AID, BID: p.BID, AOff: p.AOff, BOff: p.BOff}) {
+			return
+		}
+		streamed++
+	}
+	sum, err := pairs.Summary()
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		if !out.started {
+			writeExecError(w, err)
+			return
+		}
+		out.write(map[string]string{"type": "error", "error": err.Error()})
+		return
+	}
+	entry.passes.Add(1)
+	out.write(joinSummary{
+		Type:        "summary",
+		Streamed:    streamed,
+		Candidates:  sum.JoinStats.Candidates,
+		Refined:     sum.JoinStats.Refined,
+		Duplicates:  sum.JoinStats.Duplicates,
+		PartitionMS: float64(sum.PartitionStats.Total().Microseconds()) / 1e3,
+		MBPerS:      sum.PartitionStats.ThroughputMBs(),
+	})
+}

@@ -1,0 +1,200 @@
+// Package server implements the atgis-serve HTTP front-end: a network
+// service exposing an atgis.Engine's prepared containment/aggregation
+// queries and spatial joins over a table of registered (typically
+// memory-mapped) Sources.
+//
+// The HTTP surface (documented in docs/API.md) is:
+//
+//	POST /v1/sources   register a dataset file (mmap'd on the server)
+//	GET  /v1/sources   list registered sources
+//	POST /v1/query     run a containment or aggregation query (NDJSON)
+//	POST /v1/join      run a spatial self-join (NDJSON pair stream)
+//	GET  /v1/stats     engine pool utilisation, admission queues,
+//	                   per-source pass counters
+//	GET  /healthz      liveness probe
+//
+// Query and join responses stream as NDJSON: matched features (or
+// joined pairs) are written as they come off the engine's ordered
+// merge, followed by one terminal summary record. Every request's
+// context feeds the engine's cancellation path, so a client that
+// disconnects mid-stream aborts the underlying pass between blocks
+// instead of running it to completion.
+//
+// Admission control is the Engine's (internal/admission): when the
+// engine was built with EngineConfig.MaxInFlight, a tenant (the
+// X-Atgis-Tenant header) whose queue is full receives 429 with a
+// Retry-After estimate while other tenants' requests keep being served
+// round-robin.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atgis"
+)
+
+// ErrDuplicateSource is matched (errors.Is) when registering a name
+// already in the source table.
+var ErrDuplicateSource = errors.New("server: source name already registered")
+
+// Config assembles a Server.
+type Config struct {
+	// Engine executes the queries; required. Build it with admission
+	// control (EngineConfig.MaxInFlight) to protect the pool from
+	// flooding tenants.
+	Engine *atgis.Engine
+	// Options supplies per-query defaults (block size, PAT/FAT mode);
+	// requests may override block size and mode per call.
+	Options atgis.Options
+	// AllowRegister enables POST /v1/sources (opening server-local
+	// files named by the client). Disable when the server fronts
+	// untrusted clients.
+	AllowRegister bool
+}
+
+// Server is the HTTP front-end state: the engine plus the named-source
+// registry.
+type Server struct {
+	eng     *atgis.Engine
+	opt     atgis.Options
+	allow   bool
+	started time.Time
+
+	// inflight tracks requests inside the handler so Close can wait for
+	// them before unmapping sources out from under running passes.
+	inflight sync.WaitGroup
+
+	mu      sync.RWMutex
+	sources map[string]*sourceEntry
+}
+
+// sourceEntry is one registered dataset.
+type sourceEntry struct {
+	name   string
+	path   string
+	src    atgis.Source
+	passes atomic.Int64 // completed query/join passes over this source
+}
+
+// New builds a Server around cfg.Engine with an empty source table.
+func New(cfg Config) *Server {
+	return &Server{
+		eng:     cfg.Engine,
+		opt:     cfg.Options,
+		allow:   cfg.AllowRegister,
+		started: time.Now(),
+		sources: make(map[string]*sourceEntry),
+	}
+}
+
+// RegisterFile memory-maps the dataset at path and registers it under
+// name. The format string is one of "", "auto", "geojson", "wkt",
+// "osmxml".
+func (s *Server) RegisterFile(name, path, format string) error {
+	f, err := parseFormat(format)
+	if err != nil {
+		return err
+	}
+	src, err := atgis.OpenMapped(path, f)
+	if err != nil {
+		return err
+	}
+	if err := s.RegisterSource(name, src, path); err != nil {
+		src.Close()
+		return err
+	}
+	return nil
+}
+
+// RegisterSource registers an already-open Source under name. The
+// registry exists for repeated prepared-query reuse, so reader-backed
+// sources are refused with atgis.ErrBufferedSource (their heap buffer
+// is unevictable and unhinted — see the atgis.Source documentation);
+// reopen the file with OpenMapped instead. The Server takes ownership:
+// Close releases every registered source.
+func (s *Server) RegisterSource(name string, src atgis.Source, path string) error {
+	if name == "" {
+		return fmt.Errorf("server: source name must be non-empty")
+	}
+	if err := atgis.CheckReusable(src); err != nil {
+		return fmt.Errorf("server: cannot register %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sources[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateSource, name)
+	}
+	s.sources[name] = &sourceEntry{name: name, path: path, src: src}
+	return nil
+}
+
+// source looks up a registered source.
+func (s *Server) source(name string) (*sourceEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.sources[name]
+	return e, ok
+}
+
+// Close waits for in-flight requests to finish, then releases all
+// registered sources. Call after the HTTP server has stopped accepting
+// connections (graceful Shutdown, or Close — forcibly cut connections
+// cancel their request contexts, which winds the passes down and
+// unblocks the wait; a source must never be unmapped under a running
+// pass).
+func (s *Server) Close() error {
+	s.inflight.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, e := range s.sources {
+		if err := e.src.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.sources, name)
+	}
+	return first
+}
+
+// Handler returns the routed HTTP handler for the full /v1 surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/sources", s.handleListSources)
+	mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/join", s.handleJoin)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// tenantOf extracts the admission tenant from a request: the
+// X-Atgis-Tenant header, or the anonymous tenant when absent.
+func tenantOf(r *http.Request) string {
+	return r.Header.Get("X-Atgis-Tenant")
+}
+
+// parseFormat maps the wire format names onto atgis.Format.
+func parseFormat(s string) (atgis.Format, error) {
+	switch s {
+	case "", "auto":
+		return atgis.AutoDetect, nil
+	case "geojson":
+		return atgis.GeoJSON, nil
+	case "wkt":
+		return atgis.WKT, nil
+	case "osmxml":
+		return atgis.OSMXML, nil
+	default:
+		return atgis.AutoDetect, fmt.Errorf("unknown format %q (geojson | wkt | osmxml | auto)", s)
+	}
+}

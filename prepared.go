@@ -71,6 +71,14 @@ func (p *PreparedQuery) run(ctx context.Context, src Source, onFeature func(*geo
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Admission: the run (or the Stream producer calling it) occupies
+	// one of the engine's in-flight slots for the whole pass; rejection
+	// and queue-wait cancellation surface here before any work starts.
+	release, err := p.engine.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	data := src.Bytes()
 	spec := &p.spec
 	out := &Result{Res: query.NewResult()}
@@ -96,7 +104,6 @@ func (p *PreparedQuery) run(ctx context.Context, src Source, onFeature func(*geo
 			onFeature(f, v)
 		}
 	}
-	var err error
 	switch src.DataFormat() {
 	case GeoJSON:
 		out.Stats, out.Repaired, out.Reprocessed, err = p.engine.runGeoJSONWith(ctx, data, p.cfg, p.opt, sink)

@@ -205,6 +205,11 @@ func (e *Engine) joinStreamed(ctx context.Context, src Source, spec JoinSpec, op
 	if err := e.check(); err != nil {
 		return nil, err
 	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	opt = e.opts(opt)
 	merged, extent, stats, err := e.joinPartitionPhase(ctx, src, &spec, opt)
 	if err != nil {

@@ -2,6 +2,7 @@ package atgis
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -42,6 +43,31 @@ func (f Format) String() string {
 // an in-memory buffer, and ReaderSource buffers piped input. A Source
 // is safe for any number of concurrent queries; Close must only be
 // called once no query is in flight.
+//
+// # mmap vs reader-backed sources
+//
+// The two ways of opening a file trade off differently and the
+// difference matters once a source is held open for repeated queries
+// (a PreparedQuery registry, the atgis-serve source table):
+//
+//   - OpenMapped maps the file into the address space: opening is O(1)
+//     regardless of size, the kernel pages bytes in on first touch and
+//     can evict them under memory pressure, the page cache is shared
+//     with every other process reading the file, and the mapping is
+//     advised MADV_SEQUENTIAL on Linux so read-ahead matches the
+//     scan-heavy access pattern of a query pass.
+//   - ReaderSource copies the entire stream into one Go heap
+//     allocation before the first query can run: opening is O(bytes),
+//     the copy is unevictable (it counts fully against resident memory
+//     and GC scanning roots), nothing is shared with other processes,
+//     and no madvise-style hinting applies — the kernel never sees the
+//     access pattern because the pages are anonymous.
+//
+// ReaderSource is therefore the right tool only for input that cannot
+// be mapped (pipes, sockets, stdin) and for one-shot use. Long-lived
+// registries should reject it — CheckReusable returns the typed
+// ErrBufferedSource for reader-backed sources so callers can steer
+// users to OpenMapped.
 type Source interface {
 	// Bytes returns the raw input. Callers must not modify or retain it
 	// past Close.
@@ -99,12 +125,52 @@ func FromBytes(data []byte, format Format) (*Dataset, error) {
 // ReaderSource buffers r fully in memory and wraps it as a Source, for
 // piped or otherwise unseekable input that cannot be memory-mapped.
 // format may be AutoDetect.
+//
+// The buffer lives on the Go heap: unlike OpenMapped's page-cache-backed
+// view it is unevictable, unshared and receives no kernel read-ahead
+// hinting (see the Source doc for the full trade-off). Use it for
+// one-shot queries over pipes; CheckReusable reports ErrBufferedSource
+// for sources opened this way, and registries meant for repeated
+// prepared-query reuse should refuse them.
 func ReaderSource(r io.Reader, format Format) (Source, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return FromBytes(data, format)
+	ds, err := FromBytes(data, format)
+	if err != nil {
+		return nil, err
+	}
+	return &bufferedSource{Dataset: *ds}, nil
+}
+
+// bufferedSource marks a Source whose bytes were copied from a stream
+// onto the Go heap (ReaderSource), distinguishing it from deliberate
+// in-memory datasets (FromBytes) and kernel-managed mappings
+// (OpenMapped) so CheckReusable can identify it.
+type bufferedSource struct {
+	Dataset
+}
+
+// ErrBufferedSource is the sentinel (matched with errors.Is) returned
+// by CheckReusable for reader-backed sources: their heap copy is
+// unevictable and unhinted, so holding one open for repeated
+// prepared-query reuse wastes memory that OpenMapped would leave to the
+// page cache.
+var ErrBufferedSource = errors.New("atgis: reader-backed source is heap-buffered")
+
+// CheckReusable reports whether src suits long-lived registration for
+// repeated prepared-query reuse. It returns an error matching
+// ErrBufferedSource when src was opened with ReaderSource — callers
+// registering sources (for example the atgis-serve source table) should
+// surface it and require OpenMapped instead. Mapped and FromBytes
+// sources pass.
+func CheckReusable(src Source) error {
+	if _, ok := src.(*bufferedSource); ok {
+		return fmt.Errorf("%w; reopen the file with OpenMapped for repeated query reuse "+
+			"(mapped pages are evictable, shared and sequential-read hinted)", ErrBufferedSource)
+	}
+	return nil
 }
 
 // MappedSource is a memory-mapped file view: the kernel pages input in

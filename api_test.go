@@ -556,3 +556,58 @@ func TestPooledEngineJoin(t *testing.T) {
 		t.Fatalf("pooled stream: %d pairs, want %d", n, len(want.Pairs))
 	}
 }
+
+// TestEngineSchedulerStats checks the weighted block-dispatch scheduler
+// surfaces through Engine.Stats: a pass registered under a tenant is
+// visible (with its configured weight) while it runs, its entry is
+// released when the pass deregisters, and the pool's lifetime grant
+// counter advances.
+func TestEngineSchedulerStats(t *testing.T) {
+	ds := genDataset(t, GeoJSON, 2000)
+	eng := NewEngine(EngineConfig{Workers: 2, TenantWeights: map[string]int{"gold": 3}})
+	defer eng.Close()
+
+	st := eng.Stats()
+	if st.Scheduler == nil {
+		t.Fatal("pooled engine reports no scheduler stats")
+	}
+	if st.Scheduler.TotalGrantedBlocks != 0 || len(st.Scheduler.Tenants) != 0 {
+		t.Fatalf("idle scheduler stats = %+v", st.Scheduler)
+	}
+
+	// A streaming pass with an unconsumed iterator blocks mid-pass on
+	// backpressure (the dataset matches far more features than the
+	// stream's 64-slot buffer), holding its scheduler registration live
+	// for inspection.
+	pq, err := eng.Prepare(aggSpec(), Options{BlockSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pq.Stream(WithTenant(context.Background(), "gold"), ds)
+	var live SchedulerTenantStats
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ts, ok := eng.Stats().Scheduler.Tenants["gold"]; ok {
+			live = ts
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tenant never appeared in scheduler stats while its pass ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if live.Weight != 3 || live.Passes < 1 {
+		t.Fatalf("live tenant stats = %+v, want weight 3 with a registered pass", live)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	after := eng.Stats()
+	if after.Scheduler.TotalGrantedBlocks == 0 {
+		t.Fatal("no blocks were granted through the scheduler")
+	}
+	if len(after.Scheduler.Tenants) != 0 {
+		t.Fatalf("tenant entries leaked after pass completion: %+v", after.Scheduler.Tenants)
+	}
+}

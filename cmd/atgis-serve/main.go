@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -41,6 +42,32 @@ func (s *sourceFlags) Set(v string) error {
 	return nil
 }
 
+// weightFlags collects repeated -tenant-weight name=N arguments into
+// the engine's tenant-weight map (admission round-robin and pool
+// worker scheduling alike).
+type weightFlags map[string]int
+
+func (w weightFlags) String() string {
+	var parts []string
+	for name, n := range w {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, n))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (w weightFlags) Set(v string) error {
+	name, num, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("-tenant-weight wants name=N, got %q", v)
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 1 {
+		return fmt.Errorf("-tenant-weight %q: weight must be a positive integer", v)
+	}
+	w[name] = n
+	return nil
+}
+
 func main() {
 	listen := flag.String("listen", ":8080", "address to serve on")
 	workers := flag.Int("workers", 0, "shared worker pool size (0 = NumCPU)")
@@ -51,13 +78,17 @@ func main() {
 		"allow POST /v1/sources to map server-local files named by clients (leave off when fronting untrusted clients)")
 	var sources sourceFlags
 	flag.Var(&sources, "source", "register a dataset at startup: name=path[:format] (repeatable)")
+	weights := weightFlags{}
+	flag.Var(weights, "tenant-weight",
+		"tenant weight name=N (repeatable; absent tenants weigh 1): N× the admission round-robin share and N× the worker-pool share of concurrent passes")
 	flag.Parse()
 
 	eng := atgis.NewEngine(atgis.EngineConfig{
-		Workers:     *workers,
-		BlockSize:   *blockSize,
-		MaxInFlight: *maxInFlight,
-		TenantQueue: *tenantQueue,
+		Workers:       *workers,
+		BlockSize:     *blockSize,
+		MaxInFlight:   *maxInFlight,
+		TenantQueue:   *tenantQueue,
+		TenantWeights: weights,
 	})
 	defer eng.Close()
 

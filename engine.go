@@ -38,8 +38,21 @@ type EngineConfig struct {
 	// fails fast with an error matching admission.ErrOverloaded that
 	// carries a Retry-After estimate.
 	TenantQueue int
-	// TenantWeights optionally assigns round-robin weights per tenant
-	// (absent tenants weigh 1). Tag query contexts with WithTenant.
+	// TenantWeights optionally assigns per-tenant weights (absent
+	// tenants weigh 1). Tag query contexts with WithTenant. Weights
+	// govern both fairness layers: the admission gate's round-robin
+	// over queued queries, and the worker pool's block-dispatch
+	// scheduler, which grants freed workers to admitted passes in
+	// proportion to their tenant's weight. They apply to the pool even
+	// when MaxInFlight is zero (no admission control).
+	//
+	// Weights apportion workers at grant instants, so they bound how
+	// fast a pass *acquires* workers, not how long a granted task may
+	// hold one: query passes release per block, but a join's sweep
+	// workers run until the sweep drains, so an already-granted sweep
+	// defers other tenants until its cells finish (MaxInFlight bounds
+	// how many such sweeps can be in flight; see ROADMAP on
+	// re-quantizing sweeps).
 	TenantWeights map[string]int
 }
 
@@ -81,6 +94,7 @@ type Engine struct {
 	blockSize int
 	pool      *pipeline.Pool
 	gate      *admission.Gate // nil = no admission control
+	weights   map[string]int  // tenant → pool-scheduling weight
 	closed    atomic.Bool
 }
 
@@ -89,6 +103,15 @@ type Engine struct {
 // execution.
 func NewEngine(cfg EngineConfig) *Engine {
 	e := &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPool(cfg.Workers)}
+	if len(cfg.TenantWeights) > 0 {
+		// Private copy: the gate and the pool scheduler read these on
+		// every pass, and the caller's map must stay free to mutate
+		// after NewEngine.
+		e.weights = make(map[string]int, len(cfg.TenantWeights))
+		for t, w := range cfg.TenantWeights {
+			e.weights[t] = w
+		}
+	}
 	if cfg.MaxInFlight > 0 {
 		queue := cfg.TenantQueue
 		if queue == 0 {
@@ -97,7 +120,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		e.gate = admission.New(admission.Config{
 			MaxInFlight: cfg.MaxInFlight,
 			MaxQueued:   queue,
-			Weights:     cfg.TenantWeights,
+			Weights:     e.weights,
 		})
 	}
 	return e
@@ -122,15 +145,54 @@ type PoolStats struct {
 	Busy int `json:"busy"`
 }
 
+// SchedulerTenantStats describes one tenant currently registered with
+// the pool's weighted block-dispatch scheduler.
+type SchedulerTenantStats struct {
+	// Weight is the tenant's scheduling weight.
+	Weight int `json:"weight"`
+	// Passes is the tenant's currently registered passes (query
+	// pipelines and join sweeps).
+	Passes int `json:"passes"`
+	// QueuedBlocks counts block tasks waiting for a worker grant.
+	QueuedBlocks int `json:"queued_blocks"`
+	// GrantedBlocks counts blocks granted to the tenant's passes since
+	// the tenant last became active (the entry is dropped when its last
+	// pass deregisters, like the admission gate's tenant map).
+	GrantedBlocks uint64 `json:"granted_blocks"`
+	// WorkerShare is the tenant's fraction of the grants made to the
+	// currently active tenants — the observed worker share the weights
+	// are converging.
+	WorkerShare float64 `json:"worker_share"`
+	// Deficit is how far behind its proportional share the tenant is,
+	// in weighted block units (the scheduler's virtual clock minus the
+	// tenant's virtual time; larger = served sooner).
+	Deficit float64 `json:"deficit"`
+}
+
+// SchedulerStats snapshots the worker pool's weighted scheduler:
+// admission decides whether a query runs, this scheduler decides which
+// admitted pass receives each freed worker.
+type SchedulerStats struct {
+	// TotalGrantedBlocks counts every block dispatched by the pool
+	// since the engine started.
+	TotalGrantedBlocks uint64 `json:"total_granted_blocks"`
+	// Tenants maps each tenant with registered passes to its live
+	// scheduling state; empty when the pool is idle.
+	Tenants map[string]SchedulerTenantStats `json:"tenants,omitempty"`
+}
+
 // EngineStats is a point-in-time operational snapshot of an engine,
 // surfaced by atgis-serve's GET /v1/stats.
 type EngineStats struct {
 	Pool PoolStats `json:"pool"`
 	// Admission is nil when admission control is disabled.
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Scheduler is nil for pool-less engines.
+	Scheduler *SchedulerStats `json:"scheduler,omitempty"`
 }
 
-// Stats snapshots pool utilisation and admission-queue state.
+// Stats snapshots pool utilisation, the weighted scheduler and
+// admission-queue state.
 func (e *Engine) Stats() EngineStats {
 	var st EngineStats
 	if e == nil {
@@ -138,6 +200,29 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.pool != nil {
 		st.Pool = PoolStats{Workers: e.pool.Size(), Busy: e.pool.Busy()}
+		snap := e.pool.SchedSnapshot()
+		sched := &SchedulerStats{TotalGrantedBlocks: snap.TotalGranted}
+		var activeGrants uint64
+		for _, p := range snap.Passes {
+			activeGrants += p.Granted
+		}
+		for _, p := range snap.Passes {
+			ts := SchedulerTenantStats{
+				Weight:        p.Weight,
+				Passes:        p.Passes,
+				QueuedBlocks:  p.Queued,
+				GrantedBlocks: p.Granted,
+				Deficit:       p.Deficit,
+			}
+			if activeGrants > 0 {
+				ts.WorkerShare = float64(p.Granted) / float64(activeGrants)
+			}
+			if sched.Tenants == nil {
+				sched.Tenants = make(map[string]SchedulerTenantStats, len(snap.Passes))
+			}
+			sched.Tenants[p.Label] = ts
+		}
+		st.Scheduler = sched
 	}
 	if e.gate != nil {
 		snap := e.gate.Snapshot()
@@ -165,11 +250,31 @@ func (e *Engine) check() error {
 	return nil
 }
 
+// weightFor resolves the pool-scheduling weight of a tenant: the
+// admission gate's weight when admission is enabled (so both fairness
+// layers share one accounting), else the engine's own TenantWeights
+// copy; 1 everywhere else.
+func (e *Engine) weightFor(tenant string) int {
+	if e == nil {
+		return 1
+	}
+	if e.gate != nil {
+		return e.gate.Weight(tenant)
+	}
+	if w, ok := e.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
 // exec selects the processing resources for one run: the engine's
-// shared pool when present, else transient per-run workers.
-func (e *Engine) exec(opt Options) pipeline.Exec {
+// shared pool when present (registered with the pool's weighted
+// scheduler under ctx's tenant and weight), else transient per-run
+// workers.
+func (e *Engine) exec(ctx context.Context, opt Options) pipeline.Exec {
 	if e != nil && e.pool != nil {
-		return pipeline.Exec{Pool: e.pool}
+		tenant := admission.Tenant(ctx)
+		return pipeline.Exec{Pool: e.pool, Weight: e.weightFor(tenant), Label: tenant}
 	}
 	return pipeline.Exec{Workers: opt.workers()}
 }
@@ -241,7 +346,7 @@ func (e *Engine) runGeoJSONWith(ctx context.Context, data []byte, cfg *geojson.C
 		fold := geojson.NewFold(data, cfg, sink)
 		st, err := pipeline.RunCtx(ctx, data,
 			pipeline.FixedSplitter{BlockSize: opt.blockSize()},
-			e.exec(opt),
+			e.exec(ctx, opt),
 			func(b pipeline.Block) geojson.BlockResult {
 				return geojson.ProcessBlockFAT(data, b.Start, b.End, cfg)
 			},
@@ -261,7 +366,7 @@ func (e *Engine) runGeoJSONWith(ctx context.Context, data []byte, cfg *geojson.C
 		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 			geojson.FindFeatureBoundariesStream(input, opt.blockSize(), yield)
 		}),
-		e.exec(opt),
+		e.exec(ctx, opt),
 		func(b pipeline.Block) *geojson.PATBlockResult {
 			if b.Index == 0 {
 				return nil // header handled by the fold
@@ -298,7 +403,7 @@ func (e *Engine) runWKT(ctx context.Context, data []byte, opt Options, consume f
 		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 			wkt.SplitLinesStream(input, opt.blockSize(), yield)
 		}),
-		e.exec(opt),
+		e.exec(ctx, opt),
 		func(b pipeline.Block) frag {
 			var fr frag
 			fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {
@@ -344,7 +449,7 @@ func (e *Engine) runOSM(ctx context.Context, data []byte, opt Options, consume f
 		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 			osmxml.SplitElementsStream(input, opt.blockSize(), yield)
 		}),
-		e.exec(opt),
+		e.exec(ctx, opt),
 		func(b pipeline.Block) frag {
 			var fr frag
 			fr.err = osmxml.ParseBlock(data, b.Start, b.End, &osmxml.Handler{
@@ -447,7 +552,9 @@ func (e *Engine) join(ctx context.Context, src Source, spec JoinSpec, opt Option
 	if err != nil {
 		return nil, nil, err
 	}
-	pairs, jstats, err := join.Run(merged.Sets[0], merged.Sets[1], e.joinConfig(ctx, &spec, opt, reparse))
+	jcfg, done := e.joinConfig(ctx, &spec, opt, reparse)
+	pairs, jstats, err := join.Run(merged.Sets[0], merged.Sets[1], jcfg)
+	done()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -459,13 +566,16 @@ func (e *Engine) join(ctx context.Context, src Source, spec JoinSpec, opt Option
 	}, reparse, nil
 }
 
-// joinConfig assembles the join sweep configuration. Engines with a
-// shared pool run the sweep workers on pool slots (via Config.Go), so
+// joinConfig assembles the join sweep configuration plus a release the
+// caller must invoke once the sweep completes. Engines with a shared
+// pool run the sweep workers on pool slots (via Config.Go), so
 // concurrent joins and queries contend for the same bounded worker set
 // instead of spawning refinement goroutines per call; a streaming-join
 // consumer that stalls without calling Close therefore withholds its
-// workers from the pool.
-func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, reparse join.Reparser) join.Config {
+// workers from the pool. The sweep registers with the pool's weighted
+// scheduler under ctx's tenant — like query passes, its workers are
+// granted by tenant weight — and the release deregisters it.
+func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, reparse join.Reparser) (join.Config, func()) {
 	cfg := join.Config{
 		Ctx:           ctx,
 		Predicate:     spec.Predicate,
@@ -475,10 +585,23 @@ func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, re
 		SortThreshold: spec.SortThreshold,
 	}
 	if e != nil && e.pool != nil {
+		tenant := admission.Tenant(ctx)
+		// Register(ctx, ...) also arms the drain-on-cancel watcher: a
+		// cancelled join must not wait for pool workers to free up
+		// before its accepted-but-ungranted sweep tasks can run (the
+		// sweep's WaitGroup counts them) — drained workers see the
+		// cancelled context and exit immediately.
+		handle := e.pool.Register(ctx, tenant, e.weightFor(tenant))
 		cfg.Workers = e.pool.Size()
-		cfg.Go = func(f func()) bool { return e.pool.SubmitCtx(ctx, f) }
+		cfg.Go = func(f func()) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			return handle.Submit(f)
+		}
+		return cfg, handle.Close
 	}
-	return cfg
+	return cfg, func() {}
 }
 
 // joinPartitionPhase runs the first join pass: the parallel bounding
@@ -588,7 +711,7 @@ func (e *Engine) partitionPass(
 			pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 				wkt.SplitLinesStream(input, opt.blockSize(), yield)
 			}),
-			e.exec(opt),
+			e.exec(ctx, opt),
 			func(b pipeline.Block) *fragOf {
 				fr := newFrag()
 				fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {

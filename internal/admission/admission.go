@@ -266,6 +266,19 @@ func (g *Gate) weight(tenant string) int {
 	return 1
 }
 
+// Weight reports the tenant's configured weight (minimum 1; 1 for
+// absent tenants and nil gates). The same weights govern both layers of
+// tenant fairness: admission (how queued queries are drained into
+// execution slots) and the pipeline pool's block-dispatch scheduler
+// (how freed workers are shared among admitted passes) — engines read
+// it here so the two stay in lockstep.
+func (g *Gate) Weight(tenant string) int {
+	if g == nil {
+		return 1
+	}
+	return g.weight(tenant)
+}
+
 // removeOrderLocked drops order[i], keeping the rr cursor on the same
 // logical successor.
 func (g *Gate) removeOrderLocked(i int) {

@@ -343,3 +343,23 @@ func TestFairnessUnderFlood(t *testing.T) {
 		t.Fatalf("final stats %+v", st)
 	}
 }
+
+// TestGateWeight: the exported Weight accessor is what engines feed the
+// pipeline pool's block-dispatch scheduler, so both fairness layers
+// share one per-tenant accounting.
+func TestGateWeight(t *testing.T) {
+	g := New(Config{MaxInFlight: 1, Weights: map[string]int{"gold": 5, "bad": -2}})
+	if w := g.Weight("gold"); w != 5 {
+		t.Fatalf("Weight(gold) = %d, want 5", w)
+	}
+	if w := g.Weight("absent"); w != 1 {
+		t.Fatalf("Weight(absent) = %d, want 1", w)
+	}
+	if w := g.Weight("bad"); w != 1 {
+		t.Fatalf("Weight(bad) = %d, want clamp to 1", w)
+	}
+	var nilGate *Gate
+	if w := nilGate.Weight("any"); w != 1 {
+		t.Fatalf("nil gate Weight = %d, want 1", w)
+	}
+}

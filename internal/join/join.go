@@ -28,6 +28,7 @@ package join
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 
@@ -65,9 +66,12 @@ type Config struct {
 	// Workers sets the parallelism across partition cells.
 	Workers int
 	// Go, when set, schedules each sweep worker (e.g. onto a shared
-	// bounded pool) and reports whether it was scheduled; nil means a
-	// plain goroutine per worker. A worker that could not be scheduled
-	// (cancellation while waiting for a slot) is simply not started.
+	// bounded pool's weighted dispatch queue) and reports whether it
+	// was accepted; nil means a plain goroutine per worker. Acceptance
+	// may mean enqueued rather than running — an accepted worker runs
+	// once the pool grants it a slot, which is why the cell feeder
+	// below starts before any worker. A worker that was not accepted
+	// (cancellation, closed pool) is simply not started.
 	Go func(f func()) bool
 
 	// refPointDedup suppresses duplicate pairs at the source: a pair is
@@ -179,13 +183,14 @@ func run(a, b *partition.Set, cfg Config, newEmit func() (emit func(Pair), finis
 	if spawn == nil {
 		spawn = func(f func()) bool { go f(); return true }
 	}
-	// Feed cells before spawning: spawn may block waiting for a shared
-	// pool slot (Config.Go), and with several joins contending for the
-	// pool each may get only one worker scheduled. That worker must be
-	// able to drain the whole sweep — and free its slot for the others —
+	// Feed cells before spawning: sweep workers scheduled through
+	// Config.Go may sit in the pool's dispatch queue behind other
+	// passes, and with several joins contending for the pool each may
+	// get only one worker granted at a time. That worker must be able
+	// to drain the whole sweep — and free its slot for the others —
 	// which requires the feeder to already be running. (Spawning first
-	// deadlocked: every join holding one idle worker, every feeder
-	// unstarted behind a blocked spawn.)
+	// deadlocked under the pre-scheduler pool: every join holding one
+	// idle worker, every feeder unstarted behind a blocked spawn.)
 	done := cfg.done()
 	go func() {
 		for c := 0; c < cells; c += cellBatch {
@@ -202,6 +207,7 @@ func run(a, b *partition.Set, cfg Config, newEmit func() (emit func(Pair), finis
 		}
 		close(cellCh)
 	}()
+	started := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		scheduled := spawn(func() {
@@ -225,15 +231,28 @@ func run(a, b *partition.Set, cfg Config, newEmit func() (emit func(Pair), finis
 			mu.Unlock()
 		})
 		if !scheduled {
-			// Cancelled while waiting for a worker slot: the feeder's own
-			// ctx select drains the remaining ranges.
+			// Refused a worker slot: cancellation (the feeder's own ctx
+			// select drains the remaining ranges) or a closed pool.
 			wg.Done()
 			break
+		}
+		started++
+	}
+	if started == 0 {
+		// No sweep worker was ever accepted, so nothing will consume
+		// cellCh: drain it here or the feeder goroutine blocks forever.
+		for range cellCh {
 		}
 	}
 	wg.Wait()
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 		return st, cfg.Ctx.Err()
+	}
+	if started == 0 {
+		// Not cancelled, yet no worker could be scheduled: the shared
+		// pool was closed underneath the join. An empty pair set must
+		// not masquerade as a successful sweep.
+		return st, errors.New("join: no sweep worker could be scheduled (pool closed)")
 	}
 	select {
 	case err := <-errCh:

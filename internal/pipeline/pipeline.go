@@ -16,18 +16,26 @@
 // phases, so a cancelled request stops splitting, dispatches no further
 // blocks and skips unprocessed ones. Workers come either from a run-local
 // set of goroutines or from a shared persistent Pool, which lets many
-// concurrent queries share one bounded set of processing threads.
+// concurrent queries share one bounded set of processing threads. A
+// pooled run registers a weighted PassHandle for its duration: freed
+// workers are granted block-by-block to the registered pass with the
+// largest weighted deficit (stride scheduling, see sched.go), so
+// concurrent passes converge to worker shares proportional to their
+// weights while idle share redistributes work-conservingly.
 //
 // Position in the system (docs/ARCHITECTURE.md has the full layer
 // diagram): every execution path of the public API bottoms out here —
 // PreparedQuery passes, the join's partition pass, and CollectFeatures
 // all assemble a splitter + per-block processor + ordered fold and hand
 // them to RunCtx. An atgis.Engine owns one Pool for all of them; the
-// Pool's Busy gauge is what Engine.Stats and the atgis-serve
-// /v1/stats endpoint report as utilisation. The pipeline itself never
+// Pool's Busy gauge and scheduler snapshot are what Engine.Stats and
+// the atgis-serve /v1/stats endpoint report. The pipeline itself never
 // bounds how many runs are in flight — that is admission control's job
 // (internal/admission), which gates runs before they reach this
-// package.
+// package; once runs are admitted, the pool's weighted scheduler
+// apportions workers among them by tenant weight. Admission decides
+// whether a query runs, the scheduler decides which admitted pass gets
+// the next freed worker.
 package pipeline
 
 import (
@@ -198,8 +206,16 @@ type Exec struct {
 	// (0 = GOMAXPROCS).
 	Workers int
 	// Pool, when set, processes blocks on the shared pool instead of
-	// spawning run-local workers.
+	// spawning run-local workers. The run registers with the pool's
+	// weighted scheduler for its duration.
 	Pool *Pool
+	// Weight is the run's share in the pool's weighted scheduler
+	// (values below 1 count as 1; ignored without Pool). Engines derive
+	// it from the admission tenant weights.
+	Weight int
+	// Label names the run in the pool's scheduler stats (engines pass
+	// the tenant; ignored without Pool).
+	Label string
 }
 
 func (e Exec) workers() int {
@@ -276,19 +292,34 @@ func RunCtx[R any](
 	}
 
 	// submit hands a block to the processing workers, giving up (and
-	// marking the block skipped) once ctx is cancelled.
+	// marking the block skipped) once ctx is cancelled. poolClosed is
+	// written by the splitter goroutine and read after splitDone.
 	var submit func(it *item[R]) bool
 	var work chan *item[R]
+	var poolClosed bool
 	if exec.Pool != nil {
+		// Register this run with the pool's weighted scheduler: its
+		// blocks queue on a per-pass dispatch queue and freed workers
+		// are granted by weighted deficit across all registered passes.
+		// The deferred Close deregisters the pass — on completion and on
+		// cancellation alike — returning its share to the pool. Submit
+		// never blocks; the bounded order channel below is what paces
+		// the splitter against the workers.
+		handle := exec.Pool.Register(ctx, exec.Label, exec.Weight)
+		defer handle.Close()
 		submit = func(it *item[R]) bool {
-			select {
-			case exec.Pool.tasks <- func() { run(it) }:
+			if ctx.Err() == nil && handle.Submit(func() { run(it) }) {
 				return true
-			case <-done:
-				it.skipped = true
-				close(it.ready)
-				return false
 			}
+			if ctx.Err() == nil {
+				// Submit refused without cancellation: the pool was
+				// closed underneath the run. Mark it so the run fails
+				// loudly instead of folding a truncated result.
+				poolClosed = true
+			}
+			it.skipped = true
+			close(it.ready)
+			return false
 		}
 	} else {
 		work = make(chan *item[R], 2*workers)
@@ -403,5 +434,11 @@ func RunCtx[R any](
 	st.AllocBytes = ab1 - ab0
 	st.AllocObjects = ao1 - ao0
 	st.GCCycles = gc1 - gc0
-	return st, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	if poolClosed {
+		return st, ErrPoolClosed
+	}
+	return st, nil
 }

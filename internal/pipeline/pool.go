@@ -2,22 +2,35 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
+// ErrPoolClosed reports that a run lost blocks because its pool was
+// closed underneath it — a contract violation (Close requires quiesced
+// runs) that must fail loudly rather than fold a silently truncated
+// result.
+var ErrPoolClosed = errors.New("pipeline: worker pool closed during run")
+
 // Pool is a persistent worker pool shared by many pipeline runs. An
 // Engine owns one pool so concurrent queries share a bounded set of
-// processing threads instead of each run spawning its own goroutines;
-// block-processing closures from all in-flight runs interleave on the
-// same workers.
+// processing threads instead of each run spawning its own goroutines.
+//
+// Work reaches the pool through per-pass dispatch queues: every run
+// registers a PassHandle (Register) carrying a scheduling weight, and
+// freed workers are granted to the registered pass with the largest
+// weighted deficit — stride scheduling over block dispatch (see
+// sched.go). Concurrent passes therefore converge to worker shares
+// proportional to their weights, while idle share redistributes
+// work-conservingly; a sole pass uses the whole pool.
 type Pool struct {
-	tasks chan func()
-	size  int
-	busy  atomic.Int64
-	wg    sync.WaitGroup
-	once  sync.Once
+	s    *sched
+	size int
+	busy atomic.Int64
+	wg   sync.WaitGroup
+	once sync.Once
 }
 
 // NewPool starts a pool of size worker goroutines (GOMAXPROCS when
@@ -26,12 +39,16 @@ func NewPool(size int) *Pool {
 	if size < 1 {
 		size = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{tasks: make(chan func()), size: size}
+	p := &Pool{s: newSched(), size: size}
 	p.wg.Add(size)
 	for i := 0; i < size; i++ {
 		go func() {
 			defer p.wg.Done()
-			for f := range p.tasks {
+			for {
+				f := p.s.next()
+				if f == nil {
+					return
+				}
 				p.busy.Add(1)
 				f()
 				p.busy.Add(-1)
@@ -50,22 +67,42 @@ func (p *Pool) Size() int { return p.size }
 // whole residency.
 func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
-// SubmitCtx hands f to a pool worker, blocking until one accepts it or
-// ctx is cancelled, and reports whether f was scheduled. Used for
-// long-lived tasks (join sweep workers) that should occupy pool slots
-// rather than spawn unbounded goroutines.
-func (p *Pool) SubmitCtx(ctx context.Context, f func()) bool {
-	select {
-	case p.tasks <- f:
-		return true
-	case <-ctx.Done():
-		return false
+// Register adds a pass to the pool's weighted scheduler: label names it
+// in SchedSnapshot (engines pass the tenant), weight is its
+// proportional share (clamped to a minimum of 1). The caller must Close
+// the handle when the pass completes — including on cancellation — so
+// its queue and share return to the pool.
+//
+// When ctx is cancellable, a watcher reclaims the pass's queued tasks
+// inline (Drain) the moment ctx is cancelled: a cancelled pass must
+// never depend on pool workers becoming free to observe its queue —
+// every slot could be held indefinitely by other passes' long-lived
+// tasks. Close stops the watcher.
+func (p *Pool) Register(ctx context.Context, label string, weight int) *PassHandle {
+	h := p.s.register(label, weight)
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			h.watch = make(chan struct{})
+			go func(stop chan struct{}) {
+				select {
+				case <-done:
+					h.Drain()
+				case <-stop:
+				}
+			}(h.watch)
+		}
 	}
+	return h
 }
+
+// SchedSnapshot reports the weighted scheduler's per-label state
+// (registered passes, queued blocks, grants, deficits) plus the pool's
+// lifetime grant total.
+func (p *Pool) SchedSnapshot() SchedStats { return p.s.snapshot() }
 
 // Close stops the workers after draining queued tasks. Runs must not be
 // in flight or submitted afterwards.
 func (p *Pool) Close() {
-	p.once.Do(func() { close(p.tasks) })
+	p.once.Do(p.s.close)
 	p.wg.Wait()
 }

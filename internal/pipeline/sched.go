@@ -1,0 +1,305 @@
+package pipeline
+
+import "sync"
+
+// This file implements the pool's weighted pass scheduler. Admission
+// control (internal/admission) decides *whether* a query may run; the
+// scheduler decides *which* admitted pass receives the next freed
+// worker. The scheduling quantum is one block dispatch — the natural
+// unit the paper's scalability argument rests on (independent blocks,
+// any worker can process any block), and the same quantum morsel-driven
+// schedulers use.
+//
+// The policy is stride scheduling, a deterministic proportional-share
+// round-robin. Every registered pass carries a virtual time, advanced
+// by 1/weight per granted block; a freed worker grants the next block
+// to the backlogged pass with the smallest virtual time — equivalently,
+// the largest weighted deficit (vclock − vtime). Consequences:
+//
+//   - N continuously-backlogged passes converge to block-grant shares
+//     proportional to their weights;
+//   - a pass with nothing queued is simply skipped, so any idle share
+//     redistributes to the backlogged passes (work conservation) and a
+//     sole pass uses the entire pool;
+//   - passes that register, or that go idle and come back, enter at the
+//     scheduler's virtual clock (max of their own virtual time and the
+//     clock), so idle time is not banked into a later monopolising
+//     burst.
+//
+// Per-pass queues are FIFO and unbounded here; in practice each
+// pipeline run's bounded in-flight window (the order channel in RunCtx)
+// keeps a pass at most ~3·workers blocks ahead, which is what provides
+// splitter backpressure.
+
+// PassHandle registers one run (query pass, join sweep) with a Pool's
+// weighted scheduler. Obtain one with Pool.Register, submit the pass's
+// block tasks through Submit, and Close it when the run completes —
+// also on cancellation — so the pass deregisters and its share returns
+// to the pool.
+type PassHandle struct {
+	s        *sched
+	label    string
+	weight   int
+	vtime    float64
+	queue    []func()
+	granted  uint64
+	draining bool
+	closed   bool
+	// watch, when non-nil, stops the drain-on-cancel watcher goroutine
+	// started by Pool.Register; Close closes it exactly once.
+	watch chan struct{}
+}
+
+// Label returns the pass's scheduler label (typically the tenant).
+func (h *PassHandle) Label() string { return h.label }
+
+// Weight returns the pass's scheduling weight.
+func (h *PassHandle) Weight() int { return h.weight }
+
+// Granted returns how many tasks the scheduler has granted workers for
+// this pass so far.
+func (h *PassHandle) Granted() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.granted
+}
+
+// Submit enqueues one task on the pass's dispatch queue and reports
+// whether it was accepted (false once the handle or the pool is
+// closed). Submit never blocks: tasks wait in the per-pass queue until
+// the scheduler grants them a worker.
+func (h *PassHandle) Submit(f func()) bool {
+	s := h.s
+	s.mu.Lock()
+	if h.closed || h.draining || s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if len(h.queue) == 0 && h.vtime < s.vclock {
+		// (Re)activation: enter at the virtual clock so time spent idle
+		// is not banked into a burst.
+		h.vtime = s.vclock
+	}
+	h.queue = append(h.queue, f)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return true
+}
+
+// Drain reclaims the pass's still-queued tasks and runs them inline on
+// the caller's goroutine, and refuses further Submits. It is the
+// cancellation escape hatch: a cancelled run must not depend on pool
+// workers becoming free to observe its queued blocks (all slots could
+// be held indefinitely by other passes' long-lived tasks), so the run
+// drains its own queue — each reclaimed task sees the cancelled
+// context and completes immediately. Tasks already granted to workers
+// are untouched. Safe to call concurrently with grants and repeatedly.
+func (h *PassHandle) Drain() {
+	s := h.s
+	s.mu.Lock()
+	h.draining = true
+	stolen := h.queue
+	h.queue = nil
+	s.mu.Unlock()
+	for _, f := range stolen {
+		f()
+	}
+}
+
+// Close deregisters the pass: its queue entries are executed inline
+// (in RunCtx usage the queue is already empty — every dispatched block
+// is awaited before Close — so this is a safety net for misuse), its
+// label's accounting is released when the last pass sharing the label
+// closes, and its deficit returns to the pool. Safe to call once.
+func (h *PassHandle) Close() {
+	s := h.s
+	s.mu.Lock()
+	if h.closed {
+		s.mu.Unlock()
+		return
+	}
+	h.closed = true
+	if h.watch != nil {
+		close(h.watch)
+		h.watch = nil
+	}
+	leftover := h.queue
+	h.queue = nil
+	for i, p := range s.passes {
+		if p == h {
+			s.passes = append(s.passes[:i], s.passes[i+1:]...)
+			break
+		}
+	}
+	if lc := s.labels[h.label]; lc != nil {
+		lc.handles--
+		if lc.handles <= 0 {
+			delete(s.labels, h.label)
+		}
+	}
+	s.mu.Unlock()
+	for _, f := range leftover {
+		f()
+	}
+}
+
+// labelCount aggregates scheduler accounting across the passes sharing
+// one label. Entries live only while at least one pass with the label
+// is registered (mirroring the admission gate's tenant-map GC), so
+// label cardinality does not grow the pool.
+type labelCount struct {
+	handles int
+	granted uint64
+}
+
+// sched is the scheduler state shared by a pool's workers. It is
+// separable from the Pool so tests can drive grant decisions
+// deterministically without goroutines (see sched_test.go).
+type sched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	passes []*PassHandle
+	// vclock is the virtual time of the most recent grant; newly
+	// registered or reactivated passes enter here.
+	vclock       float64
+	totalGranted uint64
+	labels       map[string]*labelCount
+	closed       bool
+}
+
+func newSched() *sched {
+	s := &sched{labels: make(map[string]*labelCount)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// register adds a pass with the given label and weight (clamped to a
+// minimum of 1), entering at the current virtual clock.
+func (s *sched) register(label string, weight int) *PassHandle {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := &PassHandle{s: s, label: label, weight: weight, vtime: s.vclock}
+	s.passes = append(s.passes, h)
+	lc := s.labels[label]
+	if lc == nil {
+		lc = &labelCount{}
+		s.labels[label] = lc
+	}
+	lc.handles++
+	return h
+}
+
+// pickLocked selects the backlogged pass with the smallest virtual time
+// (ties break toward the earliest-registered pass), pops its head task
+// and advances its virtual time by one stride. Returns nil when no pass
+// has queued work.
+func (s *sched) pickLocked() func() {
+	var best *PassHandle
+	for _, h := range s.passes {
+		if len(h.queue) == 0 {
+			continue
+		}
+		if best == nil || h.vtime < best.vtime {
+			best = h
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	f := best.queue[0]
+	best.queue[0] = nil
+	best.queue = best.queue[1:]
+	s.vclock = best.vtime
+	best.vtime += 1 / float64(best.weight)
+	best.granted++
+	s.totalGranted++
+	if lc := s.labels[best.label]; lc != nil {
+		lc.granted++
+	}
+	return f
+}
+
+// next blocks until a task is grantable (returning it) or the scheduler
+// is closed with all queues drained (returning nil). Pool workers loop
+// on it.
+func (s *sched) next() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if f := s.pickLocked(); f != nil {
+			return f
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// close wakes all workers; they exit once every queue is drained.
+func (s *sched) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// PassStats describes one scheduler label (tenant) in a snapshot.
+type PassStats struct {
+	// Label is the pass label (the tenant for engine-owned pools).
+	Label string
+	// Weight is the label's scheduling weight.
+	Weight int
+	// Passes is how many passes with this label are registered.
+	Passes int
+	// Queued is the number of block tasks waiting for a worker grant.
+	Queued int
+	// Granted counts blocks granted to the label's passes since the
+	// label last became active (entries are released when the last pass
+	// sharing the label closes).
+	Granted uint64
+	// Deficit is the scheduler's virtual clock minus the label's
+	// smallest pass virtual time: how far behind its proportional share
+	// the label is (larger = served sooner).
+	Deficit float64
+}
+
+// SchedStats is a point-in-time snapshot of the pool's weighted
+// scheduler.
+type SchedStats struct {
+	// TotalGranted counts every block grant since the pool started.
+	TotalGranted uint64
+	// Passes aggregates the currently registered passes by label.
+	Passes []PassStats
+}
+
+// snapshot aggregates the registered passes by label, preserving
+// registration order of each label's first pass.
+func (s *sched) snapshot() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedStats{TotalGranted: s.totalGranted}
+	byLabel := make(map[string]int, len(s.labels))
+	for _, h := range s.passes {
+		i, ok := byLabel[h.label]
+		if !ok {
+			i = len(st.Passes)
+			byLabel[h.label] = i
+			st.Passes = append(st.Passes, PassStats{
+				Label:   h.label,
+				Weight:  h.weight,
+				Granted: s.labels[h.label].granted,
+			})
+		}
+		ps := &st.Passes[i]
+		ps.Passes++
+		ps.Queued += len(h.queue)
+		if d := s.vclock - h.vtime; d > ps.Deficit {
+			ps.Deficit = d
+		}
+	}
+	return st
+}

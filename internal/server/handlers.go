@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"atgis"
@@ -312,21 +313,49 @@ func summarize(res *atgis.Result) querySummary {
 	return sum
 }
 
-// ndjsonWriter serialises stream records and flushes them promptly so
-// clients see results while the pass is still running.
+// Streaming flush policy: flushing per record costs one syscall-ish
+// chunked write per line, which dominates very high-match streams.
+// Records are batched instead — a flush happens once flushBatch records
+// accumulate or flushInterval has elapsed since the last one, whichever
+// comes first, and terminal records (summary, in-band error) always
+// flush so short responses and stream tails are never left sitting in
+// the server's buffer.
+const (
+	flushBatch    = 64
+	flushInterval = 50 * time.Millisecond
+)
+
+// ndjsonWriter serialises stream records, flushing in batches so
+// clients see results while the pass is still running without paying a
+// flush per record. The 50 ms bound is honoured by a timer, so a
+// sparse-match stream's record never waits for the *next* record to
+// trigger its flush; the mutex serialises the timer callback against
+// handler writes (net/http ResponseWriters are not concurrency-safe).
+// Handlers must call stop before returning — a timer firing after the
+// handler exits must not touch the ResponseWriter.
 type ndjsonWriter struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
+
+	mu      sync.Mutex
 	started bool
+	stopped bool
+	// pending counts records written since the last flush; lastFlush
+	// is when that flush happened; timer, when non-nil, is the armed
+	// interval flush for the current batch.
+	pending   int
+	lastFlush time.Time
+	timer     *time.Timer
 }
 
-// start commits the 200 + NDJSON header; no error status can be sent
-// afterwards.
-func (n *ndjsonWriter) start() {
+// startLocked commits the 200 + NDJSON header; no error status can be
+// sent afterwards.
+func (n *ndjsonWriter) startLocked() {
 	if n.started {
 		return
 	}
 	n.started = true
+	n.lastFlush = time.Now()
 	n.w.Header().Set("Content-Type", "application/x-ndjson")
 	n.w.WriteHeader(http.StatusOK)
 }
@@ -342,23 +371,88 @@ func (n *ndjsonWriter) write(v any) bool {
 		eb, merr := json.Marshal(map[string]string{"type": "error", "error": "encode record: " + err.Error()})
 		if merr == nil {
 			n.writeRaw(eb)
+			n.flush() // terminal in-band error: drain the batch
 		}
 		return false
 	}
 	return n.writeRaw(b)
 }
 
+// writeFinal emits a terminal record (summary or in-band error) and
+// flushes whatever the batch still holds.
+func (n *ndjsonWriter) writeFinal(v any) bool {
+	ok := n.write(v)
+	n.flush()
+	return ok
+}
+
 // writeRaw sends one pre-marshalled NDJSON line; false means the
 // client is gone.
 func (n *ndjsonWriter) writeRaw(line []byte) bool {
-	n.start()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.startLocked()
 	if _, err := n.w.Write(append(line, '\n')); err != nil {
 		return false
+	}
+	n.pending++
+	if n.pending >= flushBatch || time.Since(n.lastFlush) >= flushInterval {
+		n.flushLocked()
+	} else if n.timer == nil && !n.stopped {
+		// Arm the interval flush for this batch: the first buffered
+		// record waits at most flushInterval even if no further record
+		// ever arrives.
+		n.timer = time.AfterFunc(flushInterval-time.Since(n.lastFlush), n.timerFlush)
+	}
+	return true
+}
+
+// timerFlush is the armed interval flush.
+func (n *ndjsonWriter) timerFlush() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.timer = nil
+	if !n.stopped && n.pending > 0 {
+		n.flushLocked()
+	}
+}
+
+// flush pushes buffered records to the client and resets the batch.
+func (n *ndjsonWriter) flush() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flushLocked()
+}
+
+func (n *ndjsonWriter) flushLocked() {
+	if n.stopped {
+		return
 	}
 	if n.flusher != nil {
 		n.flusher.Flush()
 	}
-	return true
+	n.pending = 0
+	n.lastFlush = time.Now()
+	if n.timer != nil {
+		n.timer.Stop()
+		n.timer = nil
+	}
+}
+
+// stop flushes any tail and disarms the interval timer; after it
+// returns no code path touches the ResponseWriter again, making it
+// safe for the handler to return. Deferred by every streaming handler.
+func (n *ndjsonWriter) stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pending > 0 {
+		n.flushLocked()
+	}
+	n.stopped = true
+	if n.timer != nil {
+		n.timer.Stop()
+		n.timer = nil
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -388,6 +482,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
 	out := &ndjsonWriter{w: w}
 	out.flusher, _ = w.(http.Flusher)
+	defer out.stop() // disarm the interval-flush timer before returning
 
 	if spec.Kind == query.Aggregation {
 		res, err := pq.Execute(ctx, entry.src)
@@ -399,7 +494,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		entry.passes.Add(1)
-		out.write(summarize(res))
+		out.writeFinal(summarize(res))
 		return
 	}
 
@@ -444,11 +539,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// The stream already committed a 200; report in-band.
-		out.write(map[string]string{"type": "error", "error": err.Error()})
+		out.writeFinal(map[string]string{"type": "error", "error": err.Error()})
 		return
 	}
 	entry.passes.Add(1)
-	out.write(summarize(sum))
+	out.writeFinal(summarize(sum))
 }
 
 // minJoinCell bounds how fine a partition grid a request may demand.
@@ -538,6 +633,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
 	out := &ndjsonWriter{w: w}
 	out.flusher, _ = w.(http.Flusher)
+	defer out.stop() // disarm the interval-flush timer before returning
 
 	pairs := s.eng.JoinStream(ctx, entry.src, spec, opt)
 	defer pairs.Close()
@@ -564,11 +660,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			writeExecError(w, err)
 			return
 		}
-		out.write(map[string]string{"type": "error", "error": err.Error()})
+		out.writeFinal(map[string]string{"type": "error", "error": err.Error()})
 		return
 	}
 	entry.passes.Add(1)
-	out.write(joinSummary{
+	out.writeFinal(joinSummary{
 		Type:        "summary",
 		Streamed:    streamed,
 		Candidates:  sum.JoinStats.Candidates,

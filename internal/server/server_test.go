@@ -299,6 +299,15 @@ func TestRegisterListStats(t *testing.T) {
 	if stats.Sources["more"].Passes != 1 || stats.Sources["data"].Passes != 0 {
 		t.Fatalf("pass counters = %+v", stats.Sources)
 	}
+	// The weighted block-dispatch scheduler is surfaced: the completed
+	// pass flowed through it (grant counter advanced) and no tenant
+	// entry lingers once the pass deregistered.
+	if stats.Engine.Scheduler == nil || stats.Engine.Scheduler.TotalGrantedBlocks == 0 {
+		t.Fatalf("scheduler stats = %+v, want granted blocks > 0", stats.Engine.Scheduler)
+	}
+	if len(stats.Engine.Scheduler.Tenants) != 0 {
+		t.Fatalf("idle scheduler lists tenants: %+v", stats.Engine.Scheduler.Tenants)
+	}
 	if srv.eng.Stats().Pool.Workers != 2 {
 		t.Fatal("engine stats disagree")
 	}
@@ -472,5 +481,83 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// flushCounter is a ResponseWriter that counts Flush calls so the
+// NDJSON batching policy is observable. The count is atomic because
+// the interval timer flushes from its own goroutine.
+type flushCounter struct {
+	header  http.Header
+	flushes atomic.Int32
+}
+
+func (f *flushCounter) Header() http.Header {
+	if f.header == nil {
+		f.header = make(http.Header)
+	}
+	return f.header
+}
+func (f *flushCounter) Write(b []byte) (int, error) { return len(b), nil }
+func (f *flushCounter) WriteHeader(int)             {}
+func (f *flushCounter) Flush()                      { f.flushes.Add(1) }
+
+// TestNDJSONBatchedFlushing: records flush in batches of flushBatch (or
+// after flushInterval on a trickling stream), not one Flush per record,
+// and terminal records always flush the tail.
+func TestNDJSONBatchedFlushing(t *testing.T) {
+	fc := &flushCounter{}
+	out := &ndjsonWriter{w: fc, flusher: fc}
+	defer out.stop()
+	const records = 200
+	for i := 0; i < records; i++ {
+		if !out.write(map[string]int{"i": i}) {
+			t.Fatal("write failed")
+		}
+	}
+	// 200 back-to-back records batch into ~records/flushBatch flushes;
+	// a slow host can add a few interval-based ones, but anywhere near
+	// one flush per record means batching is broken.
+	if n := fc.flushes.Load(); n < records/flushBatch {
+		t.Fatalf("flushes = %d for %d records, want at least %d", n, records, records/flushBatch)
+	}
+	if n := fc.flushes.Load(); n > records/4 {
+		t.Fatalf("flushes = %d for %d records; still flushing per record", n, records)
+	}
+
+	before := fc.flushes.Load()
+	if !out.writeFinal(map[string]string{"type": "summary"}) {
+		t.Fatal("writeFinal failed")
+	}
+	if fc.flushes.Load() <= before {
+		t.Fatal("terminal record did not flush the batch")
+	}
+
+	// A lone buffered record flushes once the interval timer fires —
+	// a sparse-match stream's record must not wait for the next record
+	// (or the summary) to become visible to the client.
+	trickle := &flushCounter{}
+	slow := &ndjsonWriter{w: trickle, flusher: trickle}
+	defer slow.stop()
+	slow.write(map[string]int{"i": 0})
+	deadline := time.Now().Add(5 * time.Second)
+	for trickle.flushes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval elapsed but the buffered record never flushed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// stop disarms the timer and flushes the tail, so a handler return
+	// cannot be followed by a late timer touching the ResponseWriter.
+	slow.write(map[string]int{"i": 1})
+	n := trickle.flushes.Load()
+	slow.stop()
+	if trickle.flushes.Load() != n+1 {
+		t.Fatalf("stop did not flush the tail exactly once (flushes %d -> %d)", n, trickle.flushes.Load())
+	}
+	time.Sleep(flushInterval + 20*time.Millisecond)
+	if trickle.flushes.Load() != n+1 {
+		t.Fatal("timer fired after stop")
 	}
 }

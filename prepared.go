@@ -57,6 +57,12 @@ func (p *PreparedQuery) Spec() query.Spec { return p.spec }
 // ctx's error. Execute is safe to call concurrently — including against
 // the same Source — because every run keeps its state thread-local and
 // merges it per run, exactly as the per-block fragments do.
+//
+// On engines with a shared pool, the pass registers with the pool's
+// weighted block-dispatch scheduler under ctx's tenant (WithTenant):
+// concurrent passes receive worker grants in proportion to their
+// tenants' EngineConfig.TenantWeights, and a pass running alone still
+// uses the whole pool.
 func (p *PreparedQuery) Execute(ctx context.Context, src Source) (*Result, error) {
 	return p.run(ctx, src, nil)
 }

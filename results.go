@@ -219,7 +219,9 @@ func (e *Engine) joinStreamed(ctx context.Context, src Source, spec JoinSpec, op
 	if err != nil {
 		return nil, err
 	}
-	jstats, err := join.RunStream(merged.Sets[0], merged.Sets[1], e.joinConfig(ctx, &spec, opt, reparse), emit)
+	jcfg, done := e.joinConfig(ctx, &spec, opt, reparse)
+	jstats, err := join.RunStream(merged.Sets[0], merged.Sets[1], jcfg, emit)
+	done()
 	if err != nil {
 		return nil, err
 	}

@@ -333,16 +333,17 @@ func TestStreamMatchesBufferedQuery(t *testing.T) {
 // buffered join's deduplicated pair set.
 func TestJoinStreamMatchesJoin(t *testing.T) {
 	ds := genDataset(t, WKT, 200)
-	mask := func(f *geom.Feature) uint8 {
-		if f.ID%2 == 0 {
-			return query.SideA
-		}
-		return query.SideB
-	}
+	// Self-join: the synthetic features overlap rarely at this scale,
+	// but every feature intersects itself, so the compared pair sets
+	// are guaranteed non-empty.
+	mask := func(*geom.Feature) uint8 { return query.SideA | query.SideB }
 	spec := JoinSpec{Mask: mask, CellSize: 15}
 	jr, err := ds.Join(spec, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(jr.Pairs) == 0 {
+		t.Fatal("buffered join found no pairs; bad test data")
 	}
 	want := make(map[[2]int64]bool, len(jr.Pairs))
 	for _, p := range jr.Pairs {
@@ -609,5 +610,126 @@ func TestEngineSchedulerStats(t *testing.T) {
 	}
 	if len(after.Scheduler.Tenants) != 0 {
 		t.Fatalf("tenant entries leaked after pass completion: %+v", after.Scheduler.Tenants)
+	}
+}
+
+// TestJoinStreamOrdered: JoinSpec.OrderWindow makes the streamed pair
+// sequence deterministic across runs while preserving the exact pair
+// set of the unordered stream.
+func TestJoinStreamOrdered(t *testing.T) {
+	ds := genDataset(t, WKT, 400)
+	// Self-join mask: the synthetic features overlap rarely, but every
+	// feature intersects itself, so each occupied cell owns pairs and
+	// the reorder machinery has real work.
+	mask := func(*geom.Feature) uint8 { return query.SideA | query.SideB }
+	eng := NewEngine(EngineConfig{Workers: 4})
+	defer eng.Close()
+
+	collect := func(spec JoinSpec) []int64 {
+		stream := eng.JoinStream(context.Background(), ds, spec, Options{BlockSize: 4096})
+		var seq []int64
+		for stream.Next() {
+			p := stream.Pair()
+			seq = append(seq, p.AOff, p.BOff)
+		}
+		if err := stream.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return seq
+	}
+
+	// Tiny batches so many tasks complete out of order and the
+	// sequencer actually has to reorder.
+	ordered := JoinSpec{Mask: mask, CellSize: 5, BatchCells: 2, OrderWindow: 16}
+	first := collect(ordered)
+	if len(first) == 0 {
+		t.Fatal("ordered join stream found no pairs")
+	}
+	for run := 0; run < 2; run++ {
+		again := collect(ordered)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d values, want %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d diverged at %d: ordered stream must be deterministic", run, i)
+			}
+		}
+	}
+
+	// Same pair multiset as the unordered stream.
+	unordered := collect(JoinSpec{Mask: mask, CellSize: 5})
+	if len(unordered) != len(first) {
+		t.Fatalf("ordered stream has %d values, unordered %d", len(first), len(unordered))
+	}
+	seen := make(map[[2]int64]bool, len(first)/2)
+	for i := 0; i < len(first); i += 2 {
+		seen[[2]int64{first[i], first[i+1]}] = true
+	}
+	for i := 0; i < len(unordered); i += 2 {
+		if !seen[[2]int64{unordered[i], unordered[i+1]}] {
+			t.Fatalf("pair (%d,%d) missing from ordered stream", unordered[i], unordered[i+1])
+		}
+	}
+}
+
+// TestJoinStreamCloseFreesPool: abandoning one of two concurrent join
+// streams on a pooled engine mid-iteration must not disturb the other
+// join, and afterwards the pool must be idle with no scheduler entries
+// or goroutines left behind — the engine-level half of the preemption
+// story (the join-level half lives in internal/join).
+func TestJoinStreamCloseFreesPool(t *testing.T) {
+	ds := genDataset(t, WKT, 400)
+	mask := func(*geom.Feature) uint8 { return query.SideA | query.SideB }
+	// Fine cells + tiny batches: plenty of cell-batch quanta to abandon
+	// between.
+	spec := JoinSpec{Mask: mask, CellSize: 2, BatchCells: 4}
+	eng := NewEngine(EngineConfig{Workers: 2, TenantWeights: map[string]int{"keeper": 3}})
+	defer eng.Close()
+
+	want, err := ds.Join(spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	abandoned := eng.JoinStream(WithTenant(context.Background(), "quitter"), ds, spec, Options{})
+	var survived int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		keeper := eng.JoinStream(WithTenant(context.Background(), "keeper"), ds, spec, Options{})
+		for keeper.Next() {
+			survived++
+		}
+		if err := keeper.Err(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if abandoned.Next() { // at least one pair in flight, then walk away
+		if err := abandoned.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if survived != len(want.Pairs) {
+		t.Fatalf("surviving join streamed %d pairs, want %d", survived, len(want.Pairs))
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := eng.Stats()
+		if st.Pool.Busy == 0 && len(st.Scheduler.Tenants) == 0 &&
+			runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine not quiesced: busy=%d tenants=%v goroutines=%d (baseline %d)",
+				st.Pool.Busy, st.Scheduler.Tenants, runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := eng.Stats(); st.Scheduler.TotalGrantedCellBatches == 0 {
+		t.Fatal("no cell batches were granted through the scheduler")
 	}
 }

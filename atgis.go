@@ -129,6 +129,19 @@ type JoinSpec struct {
 	SeparatePartitionPhase bool
 	// SortThreshold bounds the join's candidate batches.
 	SortThreshold int
+	// BatchCells is the sweep's scheduling quantum in grid cells (0 =
+	// join.DefaultBatchCells). Each batch is one task on the engine's
+	// worker pool, so smaller batches preempt sooner at more dispatch
+	// overhead.
+	BatchCells int
+	// OrderWindow, when positive, makes JoinStream emit pairs in
+	// deterministic cell order: the sweep looks at most this many cells
+	// past the emission head, holding completed batches until their
+	// turn. Larger windows keep more workers busy on skewed grids at
+	// the cost of buffering; zero streams pairs in nondeterministic
+	// order (the default). Engine.Join ignores it — the buffered join
+	// is globally sorted already.
+	OrderWindow int
 }
 
 // JoinResult carries the joined pairs and phase timings (Fig. 11).

@@ -46,13 +46,11 @@ type EngineConfig struct {
 	// proportion to their tenant's weight. They apply to the pool even
 	// when MaxInFlight is zero (no admission control).
 	//
-	// Weights apportion workers at grant instants, so they bound how
-	// fast a pass *acquires* workers, not how long a granted task may
-	// hold one: query passes release per block, but a join's sweep
-	// workers run until the sweep drains, so an already-granted sweep
-	// defers other tenants until its cells finish (MaxInFlight bounds
-	// how many such sweeps can be in flight; see ROADMAP on
-	// re-quantizing sweeps).
+	// Weights apportion workers at grant instants. Every granted task
+	// is one scheduling quantum — a pipeline block for queries, a cell
+	// batch for join sweeps — so a heavy pass of either kind defers
+	// other tenants by at most one quantum per worker before the
+	// scheduler reconsiders who is furthest behind.
 	TenantWeights map[string]int
 }
 
@@ -146,25 +144,37 @@ type PoolStats struct {
 }
 
 // SchedulerTenantStats describes one tenant currently registered with
-// the pool's weighted block-dispatch scheduler.
+// the pool's weighted task-dispatch scheduler.
 type SchedulerTenantStats struct {
 	// Weight is the tenant's scheduling weight.
 	Weight int `json:"weight"`
 	// Passes is the tenant's currently registered passes (query
 	// pipelines and join sweeps).
 	Passes int `json:"passes"`
-	// QueuedBlocks counts block tasks waiting for a worker grant.
+	// JoinPasses is how many of those passes are cell-batch join
+	// sweeps.
+	JoinPasses int `json:"join_passes,omitempty"`
+	// QueuedBlocks counts tasks (blocks and cell batches) waiting for a
+	// worker grant.
 	QueuedBlocks int `json:"queued_blocks"`
-	// GrantedBlocks counts blocks granted to the tenant's passes since
+	// QueuedCellBatches is the join-sweep subset of QueuedBlocks.
+	QueuedCellBatches int `json:"queued_cell_batches,omitempty"`
+	// GrantedBlocks counts tasks granted to the tenant's passes since
 	// the tenant last became active (the entry is dropped when its last
 	// pass deregisters, like the admission gate's tenant map).
 	GrantedBlocks uint64 `json:"granted_blocks"`
+	// GrantedCellBatches is the join-sweep subset of GrantedBlocks.
+	GrantedCellBatches uint64 `json:"granted_cell_batches,omitempty"`
+	// RecentGrantedBlocks counts the tenant's grants over the trailing
+	// share window (~15 s) — what WorkerShare is computed from.
+	RecentGrantedBlocks uint64 `json:"recent_granted_blocks"`
 	// WorkerShare is the tenant's fraction of the grants made to the
-	// currently active tenants — the observed worker share the weights
-	// are converging.
+	// currently active tenants over the trailing share window — the
+	// observed recent worker share the weights are converging, rather
+	// than a share-since-activation average that ancient bursts skew.
 	WorkerShare float64 `json:"worker_share"`
 	// Deficit is how far behind its proportional share the tenant is,
-	// in weighted block units (the scheduler's virtual clock minus the
+	// in weighted task units (the scheduler's virtual clock minus the
 	// tenant's virtual time; larger = served sooner).
 	Deficit float64 `json:"deficit"`
 }
@@ -173,9 +183,12 @@ type SchedulerTenantStats struct {
 // admission decides whether a query runs, this scheduler decides which
 // admitted pass receives each freed worker.
 type SchedulerStats struct {
-	// TotalGrantedBlocks counts every block dispatched by the pool
-	// since the engine started.
+	// TotalGrantedBlocks counts every task dispatched by the pool
+	// since the engine started (blocks and cell batches).
 	TotalGrantedBlocks uint64 `json:"total_granted_blocks"`
+	// TotalGrantedCellBatches is the join cell-batch subset of
+	// TotalGrantedBlocks.
+	TotalGrantedCellBatches uint64 `json:"total_granted_cell_batches"`
 	// Tenants maps each tenant with registered passes to its live
 	// scheduling state; empty when the pool is idle.
 	Tenants map[string]SchedulerTenantStats `json:"tenants,omitempty"`
@@ -201,21 +214,31 @@ func (e *Engine) Stats() EngineStats {
 	if e.pool != nil {
 		st.Pool = PoolStats{Workers: e.pool.Size(), Busy: e.pool.Busy()}
 		snap := e.pool.SchedSnapshot()
-		sched := &SchedulerStats{TotalGrantedBlocks: snap.TotalGranted}
-		var activeGrants uint64
+		sched := &SchedulerStats{
+			TotalGrantedBlocks:      snap.TotalGranted,
+			TotalGrantedCellBatches: snap.TotalGrantedBatches,
+		}
+		// Shares are computed over the trailing window, not since
+		// activation: a tenant that burst minutes ago and has been
+		// quiet since should not read as holding the pool today.
+		var recentGrants uint64
 		for _, p := range snap.Passes {
-			activeGrants += p.Granted
+			recentGrants += p.RecentGranted
 		}
 		for _, p := range snap.Passes {
 			ts := SchedulerTenantStats{
-				Weight:        p.Weight,
-				Passes:        p.Passes,
-				QueuedBlocks:  p.Queued,
-				GrantedBlocks: p.Granted,
-				Deficit:       p.Deficit,
+				Weight:              p.Weight,
+				Passes:              p.Passes,
+				JoinPasses:          p.JoinPasses,
+				QueuedBlocks:        p.Queued,
+				QueuedCellBatches:   p.QueuedBatches,
+				GrantedBlocks:       p.Granted,
+				GrantedCellBatches:  p.GrantedBatches,
+				RecentGrantedBlocks: p.RecentGranted,
+				Deficit:             p.Deficit,
 			}
-			if activeGrants > 0 {
-				ts.WorkerShare = float64(p.Granted) / float64(activeGrants)
+			if recentGrants > 0 {
+				ts.WorkerShare = float64(p.RecentGranted) / float64(recentGrants)
 			}
 			if sched.Tenants == nil {
 				sched.Tenants = make(map[string]SchedulerTenantStats, len(snap.Passes))
@@ -568,13 +591,16 @@ func (e *Engine) join(ctx context.Context, src Source, spec JoinSpec, opt Option
 
 // joinConfig assembles the join sweep configuration plus a release the
 // caller must invoke once the sweep completes. Engines with a shared
-// pool run the sweep workers on pool slots (via Config.Go), so
-// concurrent joins and queries contend for the same bounded worker set
-// instead of spawning refinement goroutines per call; a streaming-join
-// consumer that stalls without calling Close therefore withholds its
-// workers from the pool. The sweep registers with the pool's weighted
-// scheduler under ctx's tenant — like query passes, its workers are
-// granted by tenant weight — and the release deregisters it.
+// pool feed the sweep's cell-batch tasks into the pool's weighted
+// dispatch queue (Config.Handle), so concurrent joins and queries
+// contend for the same bounded worker set at the same scheduling
+// quantum: a worker returns to the pool after every batch, making the
+// join preemptible by other passes and weight-schedulable mid-sweep. A
+// streaming-join consumer that stalls without calling Close still
+// blocks the workers currently emitting to it, but never more than the
+// in-flight batch window. The sweep registers with the pool's weighted
+// scheduler under ctx's tenant — granted batch by batch by tenant
+// weight — and the release deregisters it.
 func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, reparse join.Reparser) (join.Config, func()) {
 	cfg := join.Config{
 		Ctx:           ctx,
@@ -583,23 +609,19 @@ func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, re
 		ReparseB:      reparse,
 		Workers:       opt.workers(),
 		SortThreshold: spec.SortThreshold,
+		BatchCells:    spec.BatchCells,
+		OrderWindow:   spec.OrderWindow,
 	}
 	if e != nil && e.pool != nil {
 		tenant := admission.Tenant(ctx)
 		// Register(ctx, ...) also arms the drain-on-cancel watcher: a
 		// cancelled join must not wait for pool workers to free up
-		// before its accepted-but-ungranted sweep tasks can run (the
-		// sweep's WaitGroup counts them) — drained workers see the
-		// cancelled context and exit immediately.
-		handle := e.pool.Register(ctx, tenant, e.weightFor(tenant))
+		// before its accepted-but-ungranted batch tasks can run (the
+		// sweep's task group counts them) — drained tasks see the
+		// cancelled context and return immediately.
+		cfg.Handle = e.pool.Register(ctx, tenant, e.weightFor(tenant), pipeline.JoinPass)
 		cfg.Workers = e.pool.Size()
-		cfg.Go = func(f func()) bool {
-			if ctx.Err() != nil {
-				return false
-			}
-			return handle.Submit(f)
-		}
-		return cfg, handle.Close
+		return cfg, cfg.Handle.Close
 	}
 	return cfg, func() {}
 }

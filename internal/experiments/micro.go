@@ -132,6 +132,50 @@ func Micro(cfg Config) []MicroResult {
 	engineBench("EnginePrepared/PAT", atgis.PAT)
 	engineBench("EnginePrepared/FAT", atgis.FAT)
 
+	// Join throughput (Fig. 9c's setup): the two-pass PBSM join, legacy
+	// buffered path. Gated in -compare alongside the Fig9a pair so join
+	// regressions — partition pass or cell-batch sweep — fail CI too.
+	joinN := 600
+	if cfg.Features > 0 {
+		joinN = cfg.Features * 3 / 4
+	}
+	jds := microDataset(cfg, atgis.GeoJSON, joinN)
+	jmask := func(f *geom.Feature) uint8 {
+		if f.ID%2 == 0 {
+			return query.SideA
+		}
+		return query.SideB
+	}
+	jspec := atgis.JoinSpec{Mask: jmask, CellSize: 10}
+	jopt := atgis.Options{Mode: atgis.FAT, BlockSize: 64 << 10, Workers: cfg.MaxWorkers}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := jds.Join(jspec, jopt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, microResult("Fig9cJoin", int64(len(jds.Data)), r))
+
+	// The same join through the pooled engine's streaming path: the
+	// sweep runs as cell-batch tasks on the shared worker pool, so this
+	// tracks the re-quantised execution model's overhead.
+	jeng := atgis.NewEngine(atgis.EngineConfig{Workers: cfg.MaxWorkers})
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pairs := jeng.JoinStream(context.Background(), jds, jspec, jopt)
+			for pairs.Next() {
+			}
+			if err := pairs.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	jeng.Close()
+	out = append(out, microResult("EngineJoinStream", int64(len(jds.Data)), r))
+
 	fm := microDataset(cfg, atgis.GeoJSON, formatN)
 	queryBench("Fig12Formats/GeoJSON-PAT", fm, aspec(), atgis.PAT)
 	queryBench("Fig12Formats/GeoJSON-FAT", fm, aspec(), atgis.FAT)
@@ -140,7 +184,7 @@ func Micro(cfg Config) []MicroResult {
 	ox := microDataset(cfg, atgis.OSMXML, formatN)
 	queryBench("Fig12Formats/OSMXML", ox, aspec(), atgis.PAT)
 
-	r := testing.Benchmark(func(b *testing.B) {
+	r = testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			n := 0

@@ -15,25 +15,33 @@
 // pair set (deterministic order), while RunStream emits pairs as each
 // cell's refinement finds them, suppressing duplicates at the source
 // with the reference-point test (nothing buffers; order is
-// nondeterministic). Engine.Join/JoinStream wrap them; atgis-serve's
+// nondeterministic unless Config.OrderWindow requests the windowed
+// reorder). Engine.Join/JoinStream wrap them; atgis-serve's
 // POST /v1/join streams RunStream's pairs straight onto the wire.
 //
-// Sweep workers take Config.Go so an engine can run them on its shared
-// pipeline.Pool: joins then contend for the same bounded worker set as
-// queries instead of spawning goroutines per call. Partitions store
-// only MBRs and byte offsets (paper §4.5) — geometry is re-parsed from
-// the raw input through the Reparser, keeping the partition phase's
-// memory footprint proportional to feature count, not geometry size.
+// The sweep is quantised: the grid's cell range is carved into batches
+// of Config.BatchCells cells and each batch is one independent task.
+// With Config.Handle set, tasks feed incrementally into a shared
+// pipeline.Pool's weighted dispatch queue (via pipeline.TaskGroup), so
+// a join is preemptible, weight-schedulable and cancellable at the same
+// quantum as query passes — a worker returns to the pool after every
+// batch instead of being held for the whole sweep. Per-task scratch
+// state (emit buffers, the reparse cache) comes from a bounded pool
+// sized by the in-flight window, and a reacquired state keeps its warm
+// cache (cache handoff across batches). Partitions store only MBRs and
+// byte offsets (paper §4.5) — geometry is re-parsed from the raw input
+// through the Reparser, keeping the partition phase's memory footprint
+// proportional to feature count, not geometry size.
 package join
 
 import (
 	"context"
-	"errors"
 	"sort"
 	"sync"
 
 	"atgis/internal/geom"
 	"atgis/internal/partition"
+	"atgis/internal/pipeline"
 )
 
 // Pair is one joined result: the ids and offsets of both sides.
@@ -47,10 +55,17 @@ type Pair struct {
 // object re-parse).
 type Reparser func(off int64) (geom.Geometry, error)
 
+// DefaultBatchCells is the sweep's scheduling quantum when
+// Config.BatchCells is zero: fine grids (hundreds of thousands of
+// mostly-empty cells) do not pay one task dispatch per cell, while the
+// quantum stays small enough that a concurrent pass waits at most one
+// batch for its next worker grant.
+const DefaultBatchCells = 256
+
 // Config controls join execution.
 type Config struct {
-	// Ctx, when non-nil, cancels the join: workers stop between cell
-	// batches and Run/RunStream return the context's error.
+	// Ctx, when non-nil, cancels the join: tasks stop between cells and
+	// Run/RunStream return the context's error.
 	Ctx context.Context
 	// Predicate refines candidate pairs (ST_Intersects in Table 3).
 	Predicate func(a, b geom.Geometry) bool
@@ -61,18 +76,32 @@ type Config struct {
 	// memory). Zero means one batch per cell.
 	SortThreshold int
 	// CacheSize bounds the non-adjacent side's geometry cache entries
-	// per worker. Zero means unbounded within a batch.
+	// per scratch state. Zero means unbounded within a batch.
 	CacheSize int
-	// Workers sets the parallelism across partition cells.
+	// Workers sets the parallelism across cell batches when Handle is
+	// nil (transient goroutines). With a Handle it only sizes the
+	// default in-flight window — the pool bounds concurrency.
 	Workers int
-	// Go, when set, schedules each sweep worker (e.g. onto a shared
-	// bounded pool's weighted dispatch queue) and reports whether it
-	// was accepted; nil means a plain goroutine per worker. Acceptance
-	// may mean enqueued rather than running — an accepted worker runs
-	// once the pool grants it a slot, which is why the cell feeder
-	// below starts before any worker. A worker that was not accepted
-	// (cancellation, closed pool) is simply not started.
-	Go func(f func()) bool
+	// Handle, when set, feeds each cell-batch task into a shared
+	// pipeline.Pool's weighted dispatch queue: the sweep contends for
+	// the same bounded worker set as query passes and is granted
+	// workers batch by batch (preemptible at the batch quantum). The
+	// caller registers and closes the handle.
+	Handle *pipeline.PassHandle
+	// Window bounds how many cell-batch tasks may be in flight (queued
+	// or running) at once. Zero means Workers for transient sweeps and
+	// 2·Workers+2 for pooled ones (enough to keep every worker fed
+	// while the producer refills).
+	Window int
+	// BatchCells is the number of grid cells per sweep task (0 =
+	// DefaultBatchCells).
+	BatchCells int
+	// OrderWindow, when positive, makes RunStream emit pairs in
+	// deterministic cell order: batches beyond the emission head are
+	// held (and the producer paced) within a window of this many cells,
+	// trading bounded buffering and lookahead for a stable stream
+	// order. Ignored by Run, which globally sorts anyway.
+	OrderWindow int
 
 	// refPointDedup suppresses duplicate pairs at the source: a pair is
 	// reported only by the cell containing the reference point (lower-
@@ -109,20 +138,7 @@ type candidate struct {
 // Run executes the join over two partition sets built on the same grid,
 // returning the complete, sorted, duplicate-free pair set.
 func Run(a, b *partition.Set, cfg Config) ([]Pair, Stats, error) {
-	var mu sync.Mutex
-	var all []Pair
-	st, err := run(a, b, cfg, func() (func(Pair), func()) {
-		// Worker-local buffer, merged once per worker: the terminal
-		// sort needs the full set anyway.
-		var local []Pair
-		emit := func(p Pair) { local = append(local, p) }
-		finish := func() {
-			mu.Lock()
-			all = append(all, local...)
-			mu.Unlock()
-		}
-		return emit, finish
-	})
+	all, st, err := run(a, b, cfg, nil)
 	if err != nil {
 		return nil, st, err
 	}
@@ -151,138 +167,268 @@ func Run(a, b *partition.Set, cfg Config) ([]Pair, Stats, error) {
 // from each cell's refinement loop. Duplicates are suppressed at the
 // source with the reference-point method (a pair is reported only by
 // the cell owning the lower-left corner of its MBR intersection), so
-// the stream needs no global sort; pair order is nondeterministic. emit
-// is called from multiple worker goroutines concurrently.
+// the stream needs no global sort; pair order is nondeterministic
+// unless cfg.OrderWindow enables the windowed reorder. emit is called
+// from multiple task goroutines concurrently (from exactly one at a
+// time when ordered).
 func RunStream(a, b *partition.Set, cfg Config, emit func(Pair)) (Stats, error) {
 	cfg.refPointDedup = true
-	return run(a, b, cfg, func() (func(Pair), func()) {
-		return emit, func() {}
-	})
+	_, st, err := run(a, b, cfg, emit)
+	return st, err
 }
 
-// run is the shared parallel cell sweep: workers process cell ranges
-// and report pairs through a per-worker emit obtained from newEmit
-// (finish runs when that worker drains, before its stats merge).
-func run(a, b *partition.Set, cfg Config, newEmit func() (emit func(Pair), finish func())) (Stats, error) {
+// sweep is the shared state of one quantised cell sweep: the bounded
+// scratch pool, the first task error, and the emit path.
+type sweep struct {
+	a, b *partition.Set
+	cfg  Config
+	// stream receives pairs as found (nil in Run's buffered mode, where
+	// pairs collect in the scratch states instead).
+	stream func(Pair)
+	// seq reorders per-batch buffers into batch order (stream mode with
+	// OrderWindow only).
+	seq *sequencer
+
+	mu   sync.Mutex
+	err  error
+	free []*sweepState // reusable scratch states
+	all  []*sweepState // every state ever created (merged at the end)
+}
+
+// sweepState is the per-task scratch: the reparse cache, the local
+// stats, and — in buffered or ordered modes — the pair buffer. States
+// are pooled and handed from batch to batch, so a reacquired state
+// keeps its warm geometry cache; the pool is bounded by the in-flight
+// task window.
+type sweepState struct {
+	cache *geomCache
+	pairs []Pair
+	st    Stats
+}
+
+func (s *sweep) acquire() *sweepState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		st := s.free[n-1]
+		s.free = s.free[:n-1]
+		return st
+	}
+	st := &sweepState{cache: newGeomCache(s.cfg.CacheSize)}
+	s.all = append(s.all, st)
+	return st
+}
+
+func (s *sweep) release(st *sweepState) {
+	s.mu.Lock()
+	s.free = append(s.free, st)
+	s.mu.Unlock()
+}
+
+// fail records the sweep's first error; later tasks observe it and
+// return without processing their batch.
+func (s *sweep) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *sweep) failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil
+}
+
+// cancelled reports whether the join's context is done.
+func (s *sweep) cancelled() bool {
+	return s.cfg.Ctx != nil && s.cfg.Ctx.Err() != nil
+}
+
+// task processes the cell batch [start, end) — one scheduling quantum.
+// Every submitted task runs exactly once (granted a pool worker, run by
+// a transient goroutine, or reclaimed inline by drain-on-cancel) and,
+// when ordered, reports to the sequencer exactly once, so the sequencer
+// head always advances.
+func (s *sweep) task(idx, start, end int) {
+	if s.cancelled() || s.failed() {
+		if s.seq != nil {
+			s.seq.done(idx, nil)
+		}
+		return
+	}
+	st := s.acquire()
+	emit := s.stream
+	if emit == nil || s.seq != nil {
+		emit = func(p Pair) { st.pairs = append(st.pairs, p) }
+	}
+	for c := start; c < end; c++ {
+		if (c-start)&63 == 0 && s.cancelled() {
+			break
+		}
+		if err := joinCell(s.a, s.b, s.cfg, c, st.cache, emit, &st.st); err != nil {
+			s.fail(err)
+			break
+		}
+	}
+	if s.seq != nil {
+		// Detach the batch's pairs for ordered emission; the state (and
+		// its warm cache) goes back to the pool immediately.
+		out := st.pairs
+		st.pairs = nil
+		s.release(st)
+		s.seq.done(idx, out)
+		return
+	}
+	s.release(st)
+}
+
+// run executes the quantised cell sweep. With stream nil it returns the
+// raw (undeduplicated, unsorted) pair set collected in the scratch
+// states; otherwise pairs go to stream as found and the returned slice
+// is nil.
+func run(a, b *partition.Set, cfg Config, stream func(Pair)) ([]Pair, Stats, error) {
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	cells := a.Grid.NumCells()
-	// Cells are dispatched in ranges so fine grids (hundreds of
-	// thousands of mostly-empty cells) do not pay one channel operation
-	// per cell.
-	const cellBatch = 256
-	cellCh := make(chan [2]int, workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var st Stats
-	errCh := make(chan error, workers)
-
-	spawn := cfg.Go
-	if spawn == nil {
-		spawn = func(f func()) bool { go f(); return true }
+	batch := cfg.BatchCells
+	if batch < 1 {
+		batch = DefaultBatchCells
 	}
-	// Feed cells before spawning: sweep workers scheduled through
-	// Config.Go may sit in the pool's dispatch queue behind other
-	// passes, and with several joins contending for the pool each may
-	// get only one worker granted at a time. That worker must be able
-	// to drain the whole sweep — and free its slot for the others —
-	// which requires the feeder to already be running. (Spawning first
-	// deadlocked under the pre-scheduler pool: every join holding one
-	// idle worker, every feeder unstarted behind a blocked spawn.)
-	done := cfg.done()
-	go func() {
-		for c := 0; c < cells; c += cellBatch {
-			end := c + cellBatch
-			if end > cells {
-				end = cells
-			}
-			select {
-			case cellCh <- [2]int{c, end}:
-			case <-done:
-				close(cellCh)
-				return
-			}
+	window := cfg.Window
+	if window < 1 {
+		if cfg.Handle != nil {
+			// Queued + running: keep every granted worker fed while the
+			// producer refills (mirrors the pipeline's order-channel
+			// bound).
+			window = 2*workers + 2
+		} else {
+			window = workers
 		}
-		close(cellCh)
-	}()
-	started := 0
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		scheduled := spawn(func() {
-			defer wg.Done()
-			emit, finish := newEmit()
-			localStats, err := worker(a, b, cfg, cellCh, emit)
-			if err != nil {
-				select {
-				case errCh <- err:
-				default:
-				}
-				return
-			}
-			finish()
-			mu.Lock()
-			st.Candidates += localStats.Candidates
-			st.Refined += localStats.Refined
-			st.Duplicates += localStats.Duplicates
-			st.Reparses += localStats.Reparses
-			st.CacheHits += localStats.CacheHits
-			mu.Unlock()
-		})
-		if !scheduled {
-			// Refused a worker slot: cancellation (the feeder's own ctx
-			// select drains the remaining ranges) or a closed pool.
-			wg.Done()
+	}
+	cells := a.Grid.NumCells()
+
+	s := &sweep{a: a, b: b, cfg: cfg, stream: stream}
+	if stream != nil && cfg.OrderWindow > 0 {
+		ahead := cfg.OrderWindow / batch
+		if ahead < 1 {
+			ahead = 1
+		}
+		s.seq = newSequencer(stream, ahead)
+	}
+
+	g := pipeline.NewTaskGroup(cfg.Ctx, cfg.Handle, window)
+	for c := 0; c < cells; c += batch {
+		if s.failed() {
 			break
 		}
-		started++
-	}
-	if started == 0 {
-		// No sweep worker was ever accepted, so nothing will consume
-		// cellCh: drain it here or the feeder goroutine blocks forever.
-		for range cellCh {
+		idx, start, end := c/batch, c, c+batch
+		if end > cells {
+			end = cells
+		}
+		if s.seq != nil && !s.seq.reserve(cfg.done(), idx) {
+			break
+		}
+		if !g.Go(func() { s.task(idx, start, end) }) {
+			break
 		}
 	}
-	wg.Wait()
+	gerr := g.Wait()
+
+	// Merge: every scratch state's stats, and (buffered mode) pairs.
+	var st Stats
+	var all []Pair
+	for _, ss := range s.all {
+		st.Candidates += ss.st.Candidates
+		st.Refined += ss.st.Refined
+		st.Duplicates += ss.st.Duplicates
+		st.Reparses += ss.st.Reparses
+		st.CacheHits += ss.st.CacheHits
+		if stream == nil {
+			all = append(all, ss.pairs...)
+		}
+	}
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-		return st, cfg.Ctx.Err()
+		return nil, st, cfg.Ctx.Err()
 	}
-	if started == 0 {
-		// Not cancelled, yet no worker could be scheduled: the shared
-		// pool was closed underneath the join. An empty pair set must
-		// not masquerade as a successful sweep.
-		return st, errors.New("join: no sweep worker could be scheduled (pool closed)")
+	if s.err != nil {
+		return nil, st, s.err
 	}
-	select {
-	case err := <-errCh:
-		return st, err
-	default:
+	if gerr != nil {
+		// The shared pool was closed underneath the join: an empty pair
+		// set must not masquerade as a successful sweep.
+		return nil, st, gerr
 	}
-	return st, nil
+	return all, st, nil
 }
 
-// worker processes partition cell ranges from cellCh, reporting pairs
-// through emit. On error or cancellation it drains the channel so the
-// feeder never blocks.
-func worker(a, b *partition.Set, cfg Config, cellCh <-chan [2]int, emit func(Pair)) (Stats, error) {
-	var st Stats
-	cache := newGeomCache(cfg.CacheSize)
-	for rng := range cellCh {
-		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-			for range cellCh {
-			}
-			return st, cfg.Ctx.Err()
+// sequencer restores batch order for the ordered stream: completed
+// batches hand their pair buffers to done, which emits them strictly in
+// batch index order (holding out-of-order buffers), while reserve paces
+// the producer to at most `ahead` batches past the emission head so the
+// held set stays bounded.
+type sequencer struct {
+	emit  func(Pair)
+	ahead int
+
+	mu   sync.Mutex
+	next int            // the batch index whose pairs emit next
+	held map[int][]Pair // completed batches waiting for the head
+	wake chan struct{}  // closed and replaced whenever next advances
+}
+
+func newSequencer(emit func(Pair), ahead int) *sequencer {
+	return &sequencer{emit: emit, ahead: ahead, held: make(map[int][]Pair), wake: make(chan struct{})}
+}
+
+// reserve blocks until idx is within the lookahead window of the
+// emission head (or done fires, returning false). Progress is
+// guaranteed: the head batch was submitted before any batch that can
+// block here, and every submitted batch eventually calls done.
+func (s *sequencer) reserve(done <-chan struct{}, idx int) bool {
+	s.mu.Lock()
+	for idx >= s.next+s.ahead {
+		ch := s.wake
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-done:
+			return false
 		}
-		for c := rng[0]; c < rng[1]; c++ {
-			if err := joinCell(a, b, cfg, c, cache, emit, &st); err != nil {
-				for range cellCh {
-				}
-				return st, err
-			}
-		}
+		s.mu.Lock()
 	}
-	return st, nil
+	s.mu.Unlock()
+	return true
+}
+
+// done delivers batch idx's pairs. When idx is the head, its pairs —
+// and those of any directly following held batches — emit in order and
+// reserve waiters wake; otherwise the buffer is held. Emission happens
+// under the sequencer lock: concurrent completers queue behind the
+// head's emission, which is what serialises the ordered stream.
+func (s *sequencer) done(idx int, pairs []Pair) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx != s.next {
+		s.held[idx] = pairs
+		return
+	}
+	for {
+		for _, p := range pairs {
+			s.emit(p)
+		}
+		s.next++
+		var ok bool
+		pairs, ok = s.held[s.next]
+		if !ok {
+			break
+		}
+		delete(s.held, s.next)
+	}
+	close(s.wake)
+	s.wake = make(chan struct{})
 }
 
 // joinCell joins one partition cell, reporting pairs through emit.
@@ -396,17 +542,17 @@ func (c *geomCache) get(off int64, re Reparser) (geom.Geometry, bool, error) {
 		return nil, false, err
 	}
 	if c.max > 0 && len(c.m) >= c.max {
-		// Simple eviction: drop everything (batch-local cache).
-		c.m = make(map[int64]geom.Geometry, c.max)
+		// Simple eviction: drop everything (batch-local cache). The map
+		// itself is retained — cache states recycle across batches, so
+		// the allocation would otherwise repeat per eviction.
+		clear(c.m)
 	}
 	c.m[off] = g
 	return g, false, nil
 }
 
 func (c *geomCache) clear() {
-	if len(c.m) > 0 {
-		c.m = make(map[int64]geom.Geometry)
-	}
+	clear(c.m)
 }
 
 // NestedLoop is the oracle join used by tests: every pair of features

@@ -194,3 +194,104 @@ func TestJoinEmptySides(t *testing.T) {
 		t.Errorf("pairs with empty side = %d", len(got))
 	}
 }
+
+// TestJoinBatchSizes: the cell-batch quantum and in-flight window are
+// tuning knobs, never correctness knobs — every combination produces
+// the oracle pair set.
+func TestJoinBatchSizes(t *testing.T) {
+	as, bs, reA, reB := makeWorld(21, 70, 60)
+	want := NestedLoop(as, bs, geom.Intersects)
+	sa, sb := buildSets(as, bs, 5, partition.ArrayStore)
+	for _, batch := range []int{1, 3, 64, 100000} {
+		for _, window := range []int{0, 1, 7} {
+			got, _, err := Run(sa, sb, Config{
+				Predicate:  geom.Intersects,
+				ReparseA:   reA,
+				ReparseB:   reB,
+				Workers:    3,
+				BatchCells: batch,
+				Window:     window,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pairsEqual(got, want) {
+				t.Fatalf("batch %d window %d: %d pairs, want %d", batch, window, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestJoinOrderedStream: with OrderWindow set, RunStream emits the same
+// pair set as the unordered stream, in nondecreasing owning-cell order,
+// and the sequence is identical across runs (deterministic).
+func TestJoinOrderedStream(t *testing.T) {
+	as, bs, reA, reB := makeWorld(33, 90, 80)
+	sa, sb := buildSets(as, bs, 5, partition.ArrayStore)
+	boxes := make(map[int64]geom.Box, len(as)+len(bs))
+	for _, f := range as {
+		boxes[f.Offset] = f.Geom.Bound()
+	}
+	for _, f := range bs {
+		boxes[f.Offset] = f.Geom.Bound()
+	}
+	owningCell := func(p Pair) int {
+		a, b := boxes[p.AOff], boxes[p.BOff]
+		rx, ry := a.MinX, a.MinY
+		if b.MinX > rx {
+			rx = b.MinX
+		}
+		if b.MinY > ry {
+			ry = b.MinY
+		}
+		return sa.Grid.CellOf(rx, ry)
+	}
+
+	runOrdered := func() []Pair {
+		var got []Pair
+		_, err := RunStream(sa, sb, Config{
+			Predicate:   geom.Intersects,
+			ReparseA:    reA,
+			ReparseB:    reB,
+			Workers:     4,
+			BatchCells:  2,
+			OrderWindow: 8,
+		}, func(p Pair) { got = append(got, p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	first := runOrdered()
+	if len(first) == 0 {
+		t.Fatal("ordered stream found no pairs; bad test data")
+	}
+	for i := 1; i < len(first); i++ {
+		if owningCell(first[i]) < owningCell(first[i-1]) {
+			t.Fatalf("pair %d owned by cell %d after cell %d — not in cell order",
+				i, owningCell(first[i]), owningCell(first[i-1]))
+		}
+	}
+	for run := 0; run < 3; run++ {
+		if again := runOrdered(); !pairsEqual(again, first) {
+			t.Fatalf("run %d produced a different sequence (%d vs %d pairs) — ordered stream must be deterministic",
+				run, len(again), len(first))
+		}
+	}
+
+	// Same set as the unordered stream.
+	unordered := make(map[Pair]bool)
+	if _, err := RunStream(sa, sb, Config{
+		Predicate: geom.Intersects, ReparseA: reA, ReparseB: reB, Workers: 4,
+	}, func(p Pair) { unordered[p] = true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(unordered) != len(first) {
+		t.Fatalf("ordered stream has %d pairs, unordered %d", len(first), len(unordered))
+	}
+	for _, p := range first {
+		if !unordered[p] {
+			t.Fatalf("pair %+v missing from unordered stream", p)
+		}
+	}
+}

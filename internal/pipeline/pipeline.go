@@ -27,7 +27,9 @@
 // diagram): every execution path of the public API bottoms out here —
 // PreparedQuery passes, the join's partition pass, and CollectFeatures
 // all assemble a splitter + per-block processor + ordered fold and hand
-// them to RunCtx. An atgis.Engine owns one Pool for all of them; the
+// them to RunCtx; join sweeps feed their cell-batch tasks through a
+// TaskGroup over the same per-pass dispatch queues. An atgis.Engine
+// owns one Pool for all of them; the
 // Pool's Busy gauge and scheduler snapshot are what Engine.Stats and
 // the atgis-serve /v1/stats endpoint report. The pipeline itself never
 // bounds how many runs are in flight — that is admission control's job
@@ -305,7 +307,7 @@ func RunCtx[R any](
 		// cancellation alike — returning its share to the pool. Submit
 		// never blocks; the bounded order channel below is what paces
 		// the splitter against the workers.
-		handle := exec.Pool.Register(ctx, exec.Label, exec.Weight)
+		handle := exec.Pool.Register(ctx, exec.Label, exec.Weight, QueryPass)
 		defer handle.Close()
 		submit = func(it *item[R]) bool {
 			if ctx.Err() == nil && handle.Submit(func() { run(it) }) {

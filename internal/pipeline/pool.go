@@ -63,23 +63,24 @@ func (p *Pool) Size() int { return p.size }
 
 // Busy returns the number of workers currently executing a task — the
 // pool-utilisation gauge surfaced by Engine.Stats and the atgis-serve
-// stats endpoint. Long-lived tasks (join sweep workers) count for their
-// whole residency.
+// stats endpoint. Every task is one scheduling quantum (a block or a
+// cell batch), so residency is bounded by the quantum.
 func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
 // Register adds a pass to the pool's weighted scheduler: label names it
 // in SchedSnapshot (engines pass the tenant), weight is its
-// proportional share (clamped to a minimum of 1). The caller must Close
-// the handle when the pass completes — including on cancellation — so
-// its queue and share return to the pool.
+// proportional share (clamped to a minimum of 1), kind classifies its
+// tasks for the snapshot's block-vs-cell-batch counters. The caller
+// must Close the handle when the pass completes — including on
+// cancellation — so its queue and share return to the pool.
 //
 // When ctx is cancellable, a watcher reclaims the pass's queued tasks
 // inline (Drain) the moment ctx is cancelled: a cancelled pass must
 // never depend on pool workers becoming free to observe its queue —
-// every slot could be held indefinitely by other passes' long-lived
-// tasks. Close stops the watcher.
-func (p *Pool) Register(ctx context.Context, label string, weight int) *PassHandle {
-	h := p.s.register(label, weight)
+// a slot could be held by another pass's task for a whole quantum.
+// Close stops the watcher.
+func (p *Pool) Register(ctx context.Context, label string, weight int, kind PassKind) *PassHandle {
+	h := p.s.register(label, weight, kind)
 	if ctx != nil {
 		if done := ctx.Done(); done != nil {
 			h.watch = make(chan struct{})

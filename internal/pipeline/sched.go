@@ -1,14 +1,21 @@
 package pipeline
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // This file implements the pool's weighted pass scheduler. Admission
 // control (internal/admission) decides *whether* a query may run; the
 // scheduler decides *which* admitted pass receives the next freed
-// worker. The scheduling quantum is one block dispatch — the natural
+// worker. The scheduling quantum is one task dispatch — a pipeline
+// block for query passes, a cell batch for join sweeps — the natural
 // unit the paper's scalability argument rests on (independent blocks,
 // any worker can process any block), and the same quantum morsel-driven
-// schedulers use.
+// schedulers use. Because join sweeps dispatch per cell batch rather
+// than holding long-lived workers, every pass — query or join — is
+// preemptible at quantum granularity: a freed worker always goes to the
+// largest-deficit pass, never to "whoever grabbed the slot first".
 //
 // The policy is stride scheduling, a deterministic proportional-share
 // round-robin. Every registered pass carries a virtual time, advanced
@@ -31,6 +38,22 @@ import "sync"
 // keeps a pass at most ~3·workers blocks ahead, which is what provides
 // splitter backpressure.
 
+// PassKind classifies a registered pass for scheduler accounting: query
+// pipelines dispatch blocks, join sweeps dispatch cell batches. Both are
+// one scheduling quantum — the kind only splits the observability
+// counters (queued/granted cell batches per tenant in /v1/stats), never
+// the scheduling policy.
+type PassKind uint8
+
+// Pass kinds.
+const (
+	// QueryPass is a block-quantum pipeline run (queries, the join's
+	// partition pass, CollectFeatures).
+	QueryPass PassKind = iota
+	// JoinPass is a cell-batch-quantum join sweep.
+	JoinPass
+)
+
 // PassHandle registers one run (query pass, join sweep) with a Pool's
 // weighted scheduler. Obtain one with Pool.Register, submit the pass's
 // block tasks through Submit, and Close it when the run completes —
@@ -40,6 +63,7 @@ type PassHandle struct {
 	s        *sched
 	label    string
 	weight   int
+	kind     PassKind
 	vtime    float64
 	queue    []func()
 	granted  uint64
@@ -143,13 +167,51 @@ func (h *PassHandle) Close() {
 	}
 }
 
+// shareWindowSecs is the trailing window (in one-second buckets) over
+// which RecentGranted — and therefore the worker_share surfaced by
+// /v1/stats — is computed. Lifetime-since-activation counters make a
+// tenant that burst an hour ago look permanently dominant; a short
+// window reflects who the scheduler is actually serving now.
+const shareWindowSecs = 15
+
 // labelCount aggregates scheduler accounting across the passes sharing
 // one label. Entries live only while at least one pass with the label
 // is registered (mirroring the admission gate's tenant-map GC), so
 // label cardinality does not grow the pool.
 type labelCount struct {
-	handles int
-	granted uint64
+	handles     int
+	granted     uint64 // grants since the label last became active
+	grantedJoin uint64 // the JoinPass (cell-batch) subset of granted
+	// buckets is a ring of per-second grant counts: buckets[sec %
+	// shareWindowSecs] counts the grants of the second recorded in
+	// bucketSec. Stale slots (bucketSec too old) are overwritten on
+	// write and skipped on read, so no ticker is needed.
+	buckets   [shareWindowSecs]uint64
+	bucketSec [shareWindowSecs]int64
+}
+
+// bump records one grant at unix second now.
+func (lc *labelCount) bump(now int64) {
+	i := int(now % shareWindowSecs)
+	if i < 0 {
+		i += shareWindowSecs
+	}
+	if lc.bucketSec[i] != now {
+		lc.bucketSec[i] = now
+		lc.buckets[i] = 0
+	}
+	lc.buckets[i]++
+}
+
+// recent sums the grants of the trailing shareWindowSecs seconds.
+func (lc *labelCount) recent(now int64) uint64 {
+	var sum uint64
+	for i := range lc.buckets {
+		if d := now - lc.bucketSec[i]; d >= 0 && d < shareWindowSecs {
+			sum += lc.buckets[i]
+		}
+	}
+	return sum
 }
 
 // sched is the scheduler state shared by a pool's workers. It is
@@ -161,27 +223,34 @@ type sched struct {
 	passes []*PassHandle
 	// vclock is the virtual time of the most recent grant; newly
 	// registered or reactivated passes enter here.
-	vclock       float64
-	totalGranted uint64
-	labels       map[string]*labelCount
-	closed       bool
+	vclock           float64
+	totalGranted     uint64
+	totalGrantedJoin uint64
+	labels           map[string]*labelCount
+	closed           bool
+	// now supplies the unix second for the recent-grant window;
+	// replaceable so tests can drive decay deterministically.
+	now func() int64
 }
 
 func newSched() *sched {
-	s := &sched{labels: make(map[string]*labelCount)}
+	s := &sched{
+		labels: make(map[string]*labelCount),
+		now:    func() int64 { return time.Now().Unix() },
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
-// register adds a pass with the given label and weight (clamped to a
-// minimum of 1), entering at the current virtual clock.
-func (s *sched) register(label string, weight int) *PassHandle {
+// register adds a pass with the given label, weight (clamped to a
+// minimum of 1) and kind, entering at the current virtual clock.
+func (s *sched) register(label string, weight int, kind PassKind) *PassHandle {
 	if weight < 1 {
 		weight = 1
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h := &PassHandle{s: s, label: label, weight: weight, vtime: s.vclock}
+	h := &PassHandle{s: s, label: label, weight: weight, kind: kind, vtime: s.vclock}
 	s.passes = append(s.passes, h)
 	lc := s.labels[label]
 	if lc == nil {
@@ -216,8 +285,15 @@ func (s *sched) pickLocked() func() {
 	best.vtime += 1 / float64(best.weight)
 	best.granted++
 	s.totalGranted++
+	if best.kind == JoinPass {
+		s.totalGrantedJoin++
+	}
 	if lc := s.labels[best.label]; lc != nil {
 		lc.granted++
+		lc.bump(s.now())
+		if best.kind == JoinPass {
+			lc.grantedJoin++
+		}
 	}
 	return f
 }
@@ -255,12 +331,24 @@ type PassStats struct {
 	Weight int
 	// Passes is how many passes with this label are registered.
 	Passes int
-	// Queued is the number of block tasks waiting for a worker grant.
+	// JoinPasses is how many of those are cell-batch join sweeps.
+	JoinPasses int
+	// Queued is the number of tasks (blocks and cell batches) waiting
+	// for a worker grant.
 	Queued int
-	// Granted counts blocks granted to the label's passes since the
-	// label last became active (entries are released when the last pass
-	// sharing the label closes).
+	// QueuedBatches is the join-sweep (cell-batch) subset of Queued.
+	QueuedBatches int
+	// Granted counts grants to the label's passes since the label last
+	// became active (entries are released when the last pass sharing
+	// the label closes).
 	Granted uint64
+	// GrantedBatches is the join-sweep (cell-batch) subset of Granted.
+	GrantedBatches uint64
+	// RecentGranted counts the label's grants over the trailing
+	// shareWindowSecs seconds — the windowed counter worker shares are
+	// derived from, so a long-lived tenant's ancient bursts stop
+	// skewing its reported share.
+	RecentGranted uint64
 	// Deficit is the scheduler's virtual clock minus the label's
 	// smallest pass virtual time: how far behind its proportional share
 	// the label is (larger = served sooner).
@@ -270,8 +358,10 @@ type PassStats struct {
 // SchedStats is a point-in-time snapshot of the pool's weighted
 // scheduler.
 type SchedStats struct {
-	// TotalGranted counts every block grant since the pool started.
+	// TotalGranted counts every grant since the pool started.
 	TotalGranted uint64
+	// TotalGrantedBatches is the join cell-batch subset of TotalGranted.
+	TotalGrantedBatches uint64
 	// Passes aggregates the currently registered passes by label.
 	Passes []PassStats
 }
@@ -281,22 +371,30 @@ type SchedStats struct {
 func (s *sched) snapshot() SchedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := SchedStats{TotalGranted: s.totalGranted}
+	st := SchedStats{TotalGranted: s.totalGranted, TotalGrantedBatches: s.totalGrantedJoin}
+	now := s.now()
 	byLabel := make(map[string]int, len(s.labels))
 	for _, h := range s.passes {
 		i, ok := byLabel[h.label]
 		if !ok {
 			i = len(st.Passes)
 			byLabel[h.label] = i
+			lc := s.labels[h.label]
 			st.Passes = append(st.Passes, PassStats{
-				Label:   h.label,
-				Weight:  h.weight,
-				Granted: s.labels[h.label].granted,
+				Label:          h.label,
+				Weight:         h.weight,
+				Granted:        lc.granted,
+				GrantedBatches: lc.grantedJoin,
+				RecentGranted:  lc.recent(now),
 			})
 		}
 		ps := &st.Passes[i]
 		ps.Passes++
 		ps.Queued += len(h.queue)
+		if h.kind == JoinPass {
+			ps.JoinPasses++
+			ps.QueuedBatches += len(h.queue)
+		}
 		if d := s.vclock - h.vtime; d > ps.Deficit {
 			ps.Deficit = d
 		}

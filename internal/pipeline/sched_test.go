@@ -42,8 +42,8 @@ func enqueue(t *testing.T, h *PassHandle, n int, got *[]string) {
 // receive grants in exactly that proportion, FIFO within each pass.
 func TestSchedStrideProportionalShare(t *testing.T) {
 	s := newSched()
-	a := s.register("a", 1)
-	b := s.register("b", 3)
+	a := s.register("a", 1, QueryPass)
+	b := s.register("b", 3, QueryPass)
 	var got []string
 	enqueue(t, a, 100, &got)
 	enqueue(t, b, 100, &got)
@@ -77,8 +77,8 @@ func TestSchedStrideProportionalShare(t *testing.T) {
 // low-weight pass alone receives every slot.
 func TestSchedWorkConserving(t *testing.T) {
 	s := newSched()
-	a := s.register("a", 1)
-	s.register("idle", 100)
+	a := s.register("a", 1, QueryPass)
+	s.register("idle", 100, QueryPass)
 	var got []string
 	enqueue(t, a, 10, &got)
 	for i := 0; i < 10; i++ {
@@ -96,8 +96,8 @@ func TestSchedWorkConserving(t *testing.T) {
 // "catch up" on grants it never queued for.
 func TestSchedActivationNoBurst(t *testing.T) {
 	s := newSched()
-	a := s.register("a", 1)
-	b := s.register("b", 1)
+	a := s.register("a", 1, QueryPass)
+	b := s.register("b", 1, QueryPass)
 	var got []string
 	enqueue(t, a, 100, &got)
 	for i := 0; i < 50; i++ {
@@ -121,8 +121,8 @@ func TestSchedActivationNoBurst(t *testing.T) {
 // one snapshot entry with summed queues and pass count.
 func TestSchedSameLabelAggregates(t *testing.T) {
 	s := newSched()
-	h1 := s.register("t", 4)
-	h2 := s.register("t", 4)
+	h1 := s.register("t", 4, QueryPass)
+	h2 := s.register("t", 4, QueryPass)
 	var got []string
 	enqueue(t, h1, 3, &got)
 	enqueue(t, h2, 2, &got)
@@ -149,7 +149,7 @@ func TestSchedSameLabelAggregates(t *testing.T) {
 // deregisters the pass.
 func TestSchedCloseDrainsQueue(t *testing.T) {
 	s := newSched()
-	h := s.register("x", 2)
+	h := s.register("x", 2, QueryPass)
 	ran := 0
 	for i := 0; i < 4; i++ {
 		h.Submit(func() { ran++ })
@@ -394,7 +394,7 @@ func TestPoolCancelUnblocksWithoutWorkers(t *testing.T) {
 	pool := NewPool(2)
 	defer pool.Close()
 	release := make(chan struct{})
-	hold := pool.Register(context.Background(), "hog", 1)
+	hold := pool.Register(context.Background(), "hog", 1, QueryPass)
 	defer hold.Close()
 	defer close(release) // unblock the hogs before the deferred closes
 	for i := 0; i < 2; i++ {
@@ -472,5 +472,107 @@ func TestPoolClosedMidRunFailsLoudly(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run never returned after pool close")
+	}
+}
+
+// TestSchedRecentWindowDecay drives the recent-grant window with an
+// injected clock: grants older than the share window must stop counting
+// toward RecentGranted (and therefore worker_share), while the
+// since-activation Granted counter keeps the lifetime view.
+func TestSchedRecentWindowDecay(t *testing.T) {
+	s := newSched()
+	var clock int64
+	s.now = func() int64 { return clock }
+	a := s.register("a", 1, QueryPass)
+	b := s.register("b", 1, QueryPass)
+	var got []string
+
+	// t=0: tenant a bursts 40 grants.
+	enqueue(t, a, 40, &got)
+	for i := 0; i < 40; i++ {
+		grant(s)
+	}
+	snap := s.snapshot()
+	if snap.Passes[0].RecentGranted != 40 || snap.Passes[0].Granted != 40 {
+		t.Fatalf("fresh burst: %+v", snap.Passes[0])
+	}
+
+	// Far past the window: only b is active now.
+	clock = shareWindowSecs * 3
+	enqueue(t, b, 10, &got)
+	for i := 0; i < 10; i++ {
+		grant(s)
+	}
+	snap = s.snapshot()
+	var pa, pb PassStats
+	for _, p := range snap.Passes {
+		switch p.Label {
+		case "a":
+			pa = p
+		case "b":
+			pb = p
+		}
+	}
+	if pa.Granted != 40 {
+		t.Fatalf("lifetime counter decayed: %+v", pa)
+	}
+	if pa.RecentGranted != 0 {
+		t.Fatalf("a's ancient burst still counts as recent: %+v", pa)
+	}
+	if pb.RecentGranted != 10 {
+		t.Fatalf("b's fresh grants = %d, want 10", pb.RecentGranted)
+	}
+
+	// Within the window, grants across adjacent seconds accumulate.
+	clock++
+	enqueue(t, b, 5, &got)
+	for i := 0; i < 5; i++ {
+		grant(s)
+	}
+	if rg := s.snapshot(); func() uint64 {
+		for _, p := range rg.Passes {
+			if p.Label == "b" {
+				return p.RecentGranted
+			}
+		}
+		return 0
+	}() != 15 {
+		t.Fatalf("adjacent-second grants did not accumulate: %+v", s.snapshot().Passes)
+	}
+}
+
+// TestSchedJoinBatchCounters: join-kind passes account their queued and
+// granted tasks separately as cell batches, alongside the combined
+// totals.
+func TestSchedJoinBatchCounters(t *testing.T) {
+	s := newSched()
+	q := s.register("t", 2, QueryPass)
+	j := s.register("t", 2, JoinPass)
+	var got []string
+	enqueue(t, q, 4, &got)
+	enqueue(t, j, 6, &got)
+
+	snap := s.snapshot()
+	if len(snap.Passes) != 1 {
+		t.Fatalf("labels = %d, want 1", len(snap.Passes))
+	}
+	p := snap.Passes[0]
+	if p.Passes != 2 || p.JoinPasses != 1 {
+		t.Fatalf("pass counts = %+v", p)
+	}
+	if p.Queued != 10 || p.QueuedBatches != 6 {
+		t.Fatalf("queued = %d batches = %d, want 10/6", p.Queued, p.QueuedBatches)
+	}
+
+	for i := 0; i < 10; i++ {
+		grant(s)
+	}
+	snap = s.snapshot()
+	p = snap.Passes[0]
+	if p.Granted != 10 || p.GrantedBatches != 6 {
+		t.Fatalf("granted = %d batches = %d, want 10/6", p.Granted, p.GrantedBatches)
+	}
+	if snap.TotalGranted != 10 || snap.TotalGrantedBatches != 6 {
+		t.Fatalf("totals = %d/%d, want 10/6", snap.TotalGranted, snap.TotalGrantedBatches)
 	}
 }

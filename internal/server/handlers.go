@@ -1,12 +1,15 @@
 package server
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -333,9 +336,22 @@ const (
 // handler writes (net/http ResponseWriters are not concurrency-safe).
 // Handlers must call stop before returning — a timer firing after the
 // handler exits must not touch the ResponseWriter.
+//
+// When the client sent Accept-Encoding: gzip the records are
+// gzip-compressed on the wire: NDJSON is repetitive (field names on
+// every line), so large pair/feature streams shrink several-fold. The
+// flush cadence is unchanged — each batch flush drains the compressor
+// (gzip.Writer.Flush) before pushing the HTTP chunk, so streaming
+// latency stays at the 64-record/50 ms contract.
 type ndjsonWriter struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
+	// useGzip requests compression; gz is created when the stream
+	// starts (a gzip.Writer emits header bytes even when unused, so a
+	// never-started stream must never create one).
+	useGzip bool
+	gz      *gzip.Writer
+	out     io.Writer
 
 	mu      sync.Mutex
 	started bool
@@ -348,6 +364,34 @@ type ndjsonWriter struct {
 	timer     *time.Timer
 }
 
+// newNDJSONWriter builds the stream writer for one request, negotiating
+// gzip from its Accept-Encoding header.
+func newNDJSONWriter(w http.ResponseWriter, r *http.Request) *ndjsonWriter {
+	n := &ndjsonWriter{w: w, useGzip: acceptsGzip(r)}
+	n.flusher, _ = w.(http.Flusher)
+	return n
+}
+
+// acceptsGzip reports whether the request allows a gzip response
+// encoding (an explicit q=0 disables it). Content-coding tokens and
+// parameter names are case-insensitive (RFC 9110).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, attr, _ := strings.Cut(part, ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		name, val, _ := strings.Cut(strings.TrimSpace(attr), "=")
+		if strings.EqualFold(strings.TrimSpace(name), "q") {
+			if q, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err == nil && q <= 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // startLocked commits the 200 + NDJSON header; no error status can be
 // sent afterwards.
 func (n *ndjsonWriter) startLocked() {
@@ -357,6 +401,13 @@ func (n *ndjsonWriter) startLocked() {
 	n.started = true
 	n.lastFlush = time.Now()
 	n.w.Header().Set("Content-Type", "application/x-ndjson")
+	n.w.Header().Set("Vary", "Accept-Encoding")
+	n.out = n.w
+	if n.useGzip {
+		n.w.Header().Set("Content-Encoding", "gzip")
+		n.gz = gzip.NewWriter(n.w)
+		n.out = n.gz
+	}
 	n.w.WriteHeader(http.StatusOK)
 }
 
@@ -392,7 +443,7 @@ func (n *ndjsonWriter) writeRaw(line []byte) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.startLocked()
-	if _, err := n.w.Write(append(line, '\n')); err != nil {
+	if _, err := n.out.Write(append(line, '\n')); err != nil {
 		return false
 	}
 	n.pending++
@@ -428,6 +479,11 @@ func (n *ndjsonWriter) flushLocked() {
 	if n.stopped {
 		return
 	}
+	if n.gz != nil {
+		// Drain the compressor first so the buffered records are in the
+		// HTTP chunk this flush pushes.
+		n.gz.Flush()
+	}
 	if n.flusher != nil {
 		n.flusher.Flush()
 	}
@@ -447,6 +503,15 @@ func (n *ndjsonWriter) stop() {
 	defer n.mu.Unlock()
 	if n.pending > 0 {
 		n.flushLocked()
+	}
+	if n.gz != nil {
+		// Close writes the gzip trailer; without it clients reject the
+		// stream as truncated.
+		n.gz.Close()
+		n.gz = nil
+		if n.flusher != nil {
+			n.flusher.Flush()
+		}
 	}
 	n.stopped = true
 	if n.timer != nil {
@@ -480,9 +545,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the engine's cancellation path: a dropped connection cancels it,
 	// which stops the splitter and skips queued blocks mid-pass.
 	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
-	out := &ndjsonWriter{w: w}
-	out.flusher, _ = w.(http.Flusher)
-	defer out.stop() // disarm the interval-flush timer before returning
+	out := newNDJSONWriter(w, r)
+	defer out.stop() // flush the gzip tail and disarm the interval timer
 
 	if spec.Kind == query.Aggregation {
 		res, err := pq.Execute(ctx, entry.src)
@@ -568,6 +632,10 @@ type joinRequest struct {
 	BlockSize int `json:"block_size,omitempty"`
 	// Limit caps the number of streamed pair records (0 = all).
 	Limit int `json:"limit,omitempty"`
+	// OrderWindow, when positive, streams pairs in deterministic
+	// partition-cell order, reordering within a window of this many
+	// cells (0 = unordered, the fastest).
+	OrderWindow int `json:"order_window,omitempty"`
 }
 
 // pairRecord is one streamed joined pair.
@@ -608,7 +676,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, "cell must be between %g and 360 degrees", minJoinCell)
 		return
 	}
-	spec := atgis.JoinSpec{CellSize: req.Cell}
+	if req.OrderWindow < 0 {
+		writeError(w, http.StatusBadRequest, 0, "order_window must be >= 0")
+		return
+	}
+	spec := atgis.JoinSpec{CellSize: req.Cell, OrderWindow: req.OrderWindow}
 	selfJoin := false
 	switch req.Mask {
 	case "", "parity":
@@ -631,9 +703,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
-	out := &ndjsonWriter{w: w}
-	out.flusher, _ = w.(http.Flusher)
-	defer out.stop() // disarm the interval-flush timer before returning
+	out := newNDJSONWriter(w, r)
+	defer out.stop() // flush the gzip tail and disarm the interval timer
 
 	pairs := s.eng.JoinStream(ctx, entry.src, spec, opt)
 	defer pairs.Close()

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -559,5 +560,205 @@ func TestNDJSONBatchedFlushing(t *testing.T) {
 	time.Sleep(flushInterval + 20*time.Millisecond)
 	if trickle.flushes.Load() != n+1 {
 		t.Fatal("timer fired after stop")
+	}
+}
+
+// postJSONGzip posts a JSON body with an explicit Accept-Encoding so
+// the transport's transparent decompression stays out of the way and
+// the raw gzip stream reaches the test.
+func postJSONGzip(t *testing.T, client *http.Client, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestGzipQueryStream: a client sending Accept-Encoding: gzip receives
+// the NDJSON stream gzip-compressed — same records, a valid gzip
+// trailer, and a Content-Encoding header — while clients without the
+// header keep receiving identity responses.
+func TestGzipQueryStream(t *testing.T) {
+	_, ts := newTestServer(t, 300, atgis.EngineConfig{Workers: 2})
+	body := `{"source":"data","kind":"containment","ref":[-180,-90,180,90]}`
+
+	plain := postJSON(t, ts.Client(), ts.URL+"/v1/query", body, "")
+	defer plain.Body.Close()
+	if enc := plain.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("identity request got Content-Encoding %q", enc)
+	}
+	want := ndjsonLines(t, plain.Body)
+
+	resp := postJSONGzip(t, ts.Client(), ts.URL+"/v1/query", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", enc)
+	}
+	if vary := resp.Header.Get("Vary"); vary != "Accept-Encoding" {
+		t.Fatalf("Vary %q, want Accept-Encoding", vary)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ndjsonLines(t, zr)
+	// A truncated gzip stream (missing trailer) fails here.
+	if err := zr.Close(); err != nil {
+		t.Fatalf("gzip stream did not terminate cleanly: %v", err)
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("gzip stream has %d records, identity has %d", len(got), len(want))
+	}
+	if got[len(got)-1]["type"] != "summary" {
+		t.Fatalf("terminal record = %v", got[len(got)-1])
+	}
+	for i := range got {
+		if got[i]["id"] != want[i]["id"] || got[i]["type"] != want[i]["type"] {
+			t.Fatalf("record %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGzipJoinOrdered: the join stream composes gzip with the
+// order_window reorder, and the ordered pair sequence is identical
+// across requests.
+func TestGzipJoinOrdered(t *testing.T) {
+	_, ts := newTestServerWithPath(t, writeSyntheticScaled(t, 200, 0.05), atgis.EngineConfig{Workers: 2})
+	body := `{"source":"data","cell":1,"mask":"both","order_window":64}`
+
+	collect := func() []string {
+		resp := postJSONGzip(t, ts.Client(), ts.URL+"/v1/join", body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+			t.Fatalf("Content-Encoding %q, want gzip", enc)
+		}
+		zr, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pairs []string
+		for _, rec := range ndjsonLines(t, zr) {
+			if rec["type"] == "pair" {
+				pairs = append(pairs, fmt.Sprintf("%v:%v", rec["a_off"], rec["b_off"]))
+			}
+		}
+		if err := zr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return pairs
+	}
+	first := collect()
+	if len(first) == 0 {
+		t.Fatal("ordered join streamed no pairs")
+	}
+	second := collect()
+	if len(second) != len(first) {
+		t.Fatalf("runs streamed %d vs %d pairs", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("ordered join stream diverged at pair %d", i)
+		}
+	}
+
+	// The negative declination (q=0) must disable compression.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/join", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip;q=0")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("gzip;q=0 still got Content-Encoding %q", enc)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	if resp := postJSON(t, ts.Client(), ts.URL+"/v1/join",
+		`{"source":"data","order_window":-1}`, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative order_window: status %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestStatsJoinCounters: after a join completes, the scheduler block of
+// /v1/stats reports cell-batch grants (the join's scheduling quantum).
+func TestStatsJoinCounters(t *testing.T) {
+	_, ts := newTestServerWithPath(t, writeSyntheticScaled(t, 150, 0.05), atgis.EngineConfig{Workers: 2})
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/join", `{"source":"data","cell":1,"mask":"both"}`, "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	st, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var stats struct {
+		Engine struct {
+			Scheduler struct {
+				TotalGrantedBlocks      uint64 `json:"total_granted_blocks"`
+				TotalGrantedCellBatches uint64 `json:"total_granted_cell_batches"`
+			} `json:"scheduler"`
+		} `json:"engine"`
+	}
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sched := stats.Engine.Scheduler
+	if sched.TotalGrantedCellBatches == 0 {
+		t.Fatal("join completed but no cell-batch grants recorded")
+	}
+	if sched.TotalGrantedBlocks <= sched.TotalGrantedCellBatches {
+		t.Fatalf("blocks %d should exceed cell batches %d (partition pass dispatches blocks too)",
+			sched.TotalGrantedBlocks, sched.TotalGrantedCellBatches)
+	}
+}
+
+// TestAcceptsGzipCaseInsensitive: content-coding tokens and the q
+// parameter name are case-insensitive (RFC 9110).
+func TestAcceptsGzipCaseInsensitive(t *testing.T) {
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"gzip", true},
+		{"GZIP", true},
+		{"Gzip, deflate", true},
+		{"deflate, gzip;q=0.5", true},
+		{"gzip;q=0", false},
+		{"gzip;Q=0", false},
+		{"GZIP; Q=0.0", false},
+		{"deflate", false},
+		{"", false},
+		{"x-gzip", false},
+	}
+	for _, tc := range cases {
+		r, _ := http.NewRequest(http.MethodGet, "/", nil)
+		if tc.header != "" {
+			r.Header.Set("Accept-Encoding", tc.header)
+		}
+		if got := acceptsGzip(r); got != tc.want {
+			t.Errorf("acceptsGzip(%q) = %v, want %v", tc.header, got, tc.want)
+		}
 	}
 }

@@ -76,6 +76,12 @@ func main() {
 	tenantQueue := flag.Int("queue", 16, "per-tenant admission queue cap")
 	allowRegister := flag.Bool("allow-register", false,
 		"allow POST /v1/sources to map server-local files named by clients (leave off when fronting untrusted clients)")
+	defaultTimeout := flag.Duration("default-timeout", 0,
+		"wall-clock budget for query/join requests without a timeout_ms field (0 = unbounded)")
+	maxTimeout := flag.Duration("max-timeout", 0,
+		"cap on any client-requested timeout_ms; larger requests are clamped (0 = uncapped)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
+		"how long graceful shutdown waits for in-flight streams before cutting their connections")
 	var sources sourceFlags
 	flag.Var(&sources, "source", "register a dataset at startup: name=path[:format] (repeatable)")
 	weights := weightFlags{}
@@ -93,9 +99,11 @@ func main() {
 	defer eng.Close()
 
 	srv := server.New(server.Config{
-		Engine:        eng,
-		Options:       atgis.Options{BlockSize: *blockSize},
-		AllowRegister: *allowRegister,
+		Engine:         eng,
+		Options:        atgis.Options{BlockSize: *blockSize},
+		AllowRegister:  *allowRegister,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
 	})
 	defer srv.Close()
 
@@ -122,10 +130,14 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			hs.Close() // streams still open: cut them, their contexts cancel the passes
+			// Streams still open past the drain budget: cut their
+			// connections, whose contexts cancel the passes.
+			log.Printf("atgis-serve: drain exceeded %v, abandoning %d in-flight request(s)",
+				*shutdownTimeout, srv.Inflight())
+			hs.Close()
 		}
 	}()
 

@@ -78,6 +78,28 @@ type OverloadError = admission.OverloadError
 // EngineStats.Admission.
 type AdmissionStats = admission.Stats
 
+// ErrSourceFault is the sentinel matched (errors.Is) when a pass died
+// on a memory fault while reading its input — typically the mmap'd
+// source file was truncated or deleted under the mapping (SIGBUS). The
+// fault is confined to the failing pass: the engine, its pool, and all
+// concurrent queries keep running. The concrete error is
+// *SourceFaultError. Serving layers should mark the source unhealthy
+// and keep the process up.
+var ErrSourceFault = pipeline.ErrSourceFault
+
+// SourceFaultError is the typed per-pass memory-fault error (errors.As),
+// carrying the pass label, the pipeline phase, the block or batch index
+// and the faulting address.
+type SourceFaultError = pipeline.SourceFaultError
+
+// PassPanicError is the typed error (errors.As) a query or join returns
+// when a panic — a parser bug on malformed bytes, adversarial geometry —
+// was recovered inside its pass. The panic is confined: only the owning
+// pass fails; the engine, the shared pool and every concurrent tenant's
+// pass keep running. It carries the pass label (tenant), the phase, the
+// block or batch index, the panic value and the captured stack.
+type PassPanicError = pipeline.PassPanicError
+
 // Engine executes queries. It owns a persistent worker pool shared by
 // every query it runs, so many concurrent requests against one or more
 // open Sources contend for a bounded set of processing threads instead

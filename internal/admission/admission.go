@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"atgis/internal/faultinject"
 )
 
 // Config sizes a Gate.
@@ -145,6 +147,9 @@ func (g *Gate) Acquire(ctx context.Context, tenant string) (release func(), err 
 	if g == nil {
 		return func() {}, nil
 	}
+	// Chaos-test hook: an armed "admission.acquire" hook can stall a
+	// tenant's admission deterministically (no-op in production).
+	faultinject.Fire("admission.acquire", tenant, 0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -39,6 +39,7 @@ import (
 	"sort"
 	"sync"
 
+	"atgis/internal/faultinject"
 	"atgis/internal/geom"
 	"atgis/internal/partition"
 	"atgis/internal/pipeline"
@@ -182,6 +183,9 @@ func RunStream(a, b *partition.Set, cfg Config, emit func(Pair)) (Stats, error) 
 type sweep struct {
 	a, b *partition.Set
 	cfg  Config
+	// label attributes fault errors to the pass (the tenant on pooled
+	// sweeps; "" for transient ones).
+	label string
 	// stream receives pairs as found (nil in Run's buffered mode, where
 	// pairs collect in the scratch states instead).
 	stream func(Pair)
@@ -193,6 +197,11 @@ type sweep struct {
 	err  error
 	free []*sweepState // reusable scratch states
 	all  []*sweepState // every state ever created (merged at the end)
+	// freeBufs recycles the ordered path's per-batch pair buffers: a
+	// batch detaches its buffer into the sequencer, and the sequencer
+	// hands it back here once emitted, so a long ordered join reuses a
+	// bounded set of buffers instead of allocating one per batch.
+	freeBufs [][]Pair
 }
 
 // sweepState is the per-task scratch: the reparse cache, the local
@@ -222,6 +231,31 @@ func (s *sweep) acquire() *sweepState {
 func (s *sweep) release(st *sweepState) {
 	s.mu.Lock()
 	s.free = append(s.free, st)
+	s.mu.Unlock()
+}
+
+// getBuf pops a recycled per-batch pair buffer (nil when none is free —
+// the batch then grows a fresh one that joins the pool after emission).
+func (s *sweep) getBuf() []Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.freeBufs); n > 0 {
+		b := s.freeBufs[n-1]
+		s.freeBufs = s.freeBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns an emitted batch buffer to the pool. The pool is
+// naturally bounded by the sequencer's lookahead window — at most
+// `ahead` buffers are detached at once.
+func (s *sweep) putBuf(b []Pair) {
+	if cap(b) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.freeBufs = append(s.freeBufs, b[:0])
 	s.mu.Unlock()
 }
 
@@ -259,18 +293,32 @@ func (s *sweep) task(idx, start, end int) {
 		return
 	}
 	st := s.acquire()
+	if s.seq != nil {
+		// Ordered mode detaches the pair buffer into the sequencer per
+		// batch; start from a recycled one instead of growing fresh.
+		st.pairs = s.getBuf()
+	}
 	emit := s.stream
 	if emit == nil || s.seq != nil {
 		emit = func(p Pair) { st.pairs = append(st.pairs, p) }
 	}
-	for c := start; c < end; c++ {
-		if (c-start)&63 == 0 && s.cancelled() {
-			break
+	// The batch runs guarded like a pipeline block: a panic in the
+	// predicate or a memory fault in a reparse (source truncated under
+	// its mmap) fails this sweep with a typed error — the pool worker
+	// granting the batch, and every other pass on it, are unaffected.
+	if err := pipeline.Guarded(s.label, "join-batch", idx, func() {
+		faultinject.Fire("join.batch", s.label, int64(idx))
+		for c := start; c < end; c++ {
+			if (c-start)&63 == 0 && s.cancelled() {
+				break
+			}
+			if err := joinCell(s.a, s.b, s.cfg, c, st.cache, emit, &st.st); err != nil {
+				s.fail(err)
+				break
+			}
 		}
-		if err := joinCell(s.a, s.b, s.cfg, c, st.cache, emit, &st.st); err != nil {
-			s.fail(err)
-			break
-		}
+	}); err != nil {
+		s.fail(err)
 	}
 	if s.seq != nil {
 		// Detach the batch's pairs for ordered emission; the state (and
@@ -311,12 +359,15 @@ func run(a, b *partition.Set, cfg Config, stream func(Pair)) ([]Pair, Stats, err
 	cells := a.Grid.NumCells()
 
 	s := &sweep{a: a, b: b, cfg: cfg, stream: stream}
+	if cfg.Handle != nil {
+		s.label = cfg.Handle.Label()
+	}
 	if stream != nil && cfg.OrderWindow > 0 {
 		ahead := cfg.OrderWindow / batch
 		if ahead < 1 {
 			ahead = 1
 		}
-		s.seq = newSequencer(stream, ahead)
+		s.seq = newSequencer(stream, ahead, s.putBuf)
 	}
 
 	g := pipeline.NewTaskGroup(cfg.Ctx, cfg.Handle, window)
@@ -351,6 +402,11 @@ func run(a, b *partition.Set, cfg Config, stream func(Pair)) ([]Pair, Stats, err
 		}
 	}
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		// Prefer the cancellation cause (typed pass failures cancel with
+		// cause); plain cancellation and deadlines pass through as-is.
+		if cause := context.Cause(cfg.Ctx); cause != nil {
+			return nil, st, cause
+		}
 		return nil, st, cfg.Ctx.Err()
 	}
 	if s.err != nil {
@@ -372,6 +428,9 @@ func run(a, b *partition.Set, cfg Config, stream func(Pair)) ([]Pair, Stats, err
 type sequencer struct {
 	emit  func(Pair)
 	ahead int
+	// recycle receives each buffer after its pairs were emitted, so the
+	// sweep can hand it to a later batch instead of allocating anew.
+	recycle func([]Pair)
 
 	mu   sync.Mutex
 	next int            // the batch index whose pairs emit next
@@ -379,8 +438,9 @@ type sequencer struct {
 	wake chan struct{}  // closed and replaced whenever next advances
 }
 
-func newSequencer(emit func(Pair), ahead int) *sequencer {
-	return &sequencer{emit: emit, ahead: ahead, held: make(map[int][]Pair), wake: make(chan struct{})}
+func newSequencer(emit func(Pair), ahead int, recycle func([]Pair)) *sequencer {
+	return &sequencer{emit: emit, ahead: ahead, recycle: recycle,
+		held: make(map[int][]Pair), wake: make(chan struct{})}
 }
 
 // reserve blocks until idx is within the lookahead window of the
@@ -418,6 +478,9 @@ func (s *sequencer) done(idx int, pairs []Pair) {
 	for {
 		for _, p := range pairs {
 			s.emit(p)
+		}
+		if s.recycle != nil && pairs != nil {
+			s.recycle(pairs)
 		}
 		s.next++
 		var ok bool

@@ -1,0 +1,40 @@
+package osmxml
+
+// FuzzOSMAttrs runs the XML attribute scanner and the line-oriented
+// block parser over arbitrary bytes. Both operate on raw mmap'd input
+// inside worker goroutines, so the fuzz contract is strict no-panic:
+// malformed elements return errors or skip lines, never crash.
+
+import (
+	"testing"
+
+	"atgis/internal/geom"
+)
+
+func FuzzOSMAttrs(f *testing.F) {
+	f.Add([]byte(`<node id="1" lat="51.5" lon="-0.1"/>`))
+	f.Add([]byte(`<way id="42"><nd ref="1"/><nd ref="2"/></way>`))
+	f.Add([]byte(`<relation id="7"><member type="way" ref="42" role="outer"/></relation>`))
+	f.Add([]byte(`<node id= lat="x" lon=`))
+	f.Add([]byte(`<node id="9999999999999999999999" lat="1e309" lon="-1e309"/>`))
+	f.Add([]byte(`<way id="1"`))
+	f.Add([]byte("<node id=\"1\"\x00\xff lat=\"0\" lon=\"0\"/>"))
+	f.Add([]byte("id=\"3\" lat=\"\" lon=\"\"\""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := attrScanner{data}
+		sc.attr("id")
+		sc.attrInt("id")
+		sc.attrFloat("lat")
+		sc.attrFloat("lon")
+		sc.attr("ref")
+		sc.attr("role")
+
+		h := &Handler{
+			OnNode:     func(int64, geom.Point) {},
+			OnWay:      func(*Way) {},
+			OnRelation: func(*Relation) {},
+		}
+		ParseBlock(data, 0, int64(len(data)), h)
+	})
+}

@@ -45,6 +45,8 @@ import (
 	"runtime"
 	"runtime/metrics"
 	"time"
+
+	"atgis/internal/faultinject"
 )
 
 // Block is one contiguous region of the input.
@@ -257,6 +259,13 @@ func Run[R any](
 // further results are folded, and RunCtx returns ctx's error. Partial
 // folds may already have happened; callers must treat the result as
 // invalid when an error is returned.
+//
+// Faults are confined to the run: every phase that touches input bytes
+// (block processing, the boundary-searching splitter, the merge fold)
+// executes under Guarded, so a panic — a parser bug on malformed bytes,
+// or a SIGBUS from a source truncated under its mmap — cancels and
+// fails only this run, returning *PassPanicError or *SourceFaultError.
+// The pool, its workers and all concurrent runs are unaffected.
 func RunCtx[R any](
 	ctx context.Context,
 	input []byte,
@@ -277,16 +286,28 @@ func RunCtx[R any](
 	ab0, ao0, gc0 := readAllocMetrics(samples)
 
 	t0 := time.Now()
+	// failRun cancels the run with a typed pass error as the cause; the
+	// splitter, workers and fold all observe the cancellation through
+	// ctx, and the cause is what RunCtx returns.
+	ctx, failRun := context.WithCancelCause(ctx)
+	defer failRun(nil)
 	done := ctx.Done()
 	// The order channel must hold every block that can be in flight
 	// beyond the merge head (work buffer + workers) so the splitter
 	// never blocks on it while the merger waits for the head block.
 	order := make(chan *item[R], 3*workers+4)
 
-	// run processes one block unless the run was cancelled first.
+	// run processes one block unless the run was cancelled first. A
+	// panic or memory fault inside process fails this run only.
 	run := func(it *item[R]) {
 		if ctx.Err() == nil {
-			it.r = process(it.b)
+			if err := Guarded(exec.Label, "block", it.b.Index, func() {
+				faultinject.Fire("pipeline.block", exec.Label, int64(it.b.Index))
+				it.r = process(it.b)
+			}); err != nil {
+				it.skipped = true
+				failRun(err)
+			}
 		} else {
 			it.skipped = true
 		}
@@ -385,14 +406,23 @@ func RunCtx[R any](
 			idx++
 			return true
 		}
-		if ss, ok := splitter.(StreamSplitter); ok {
-			ss.SplitStream(input, yield)
-		} else {
-			for _, c := range splitter.Split(input) {
-				if !yield(c) {
-					break
+		// The splitter scans raw input bytes, so it runs guarded like the
+		// workers: a panic (or mmap fault) while finding boundaries fails
+		// this run instead of the process.
+		if err := Guarded(exec.Label, "split", 0, func() {
+			faultinject.Fire("pipeline.split", exec.Label, 0)
+			if ss, ok := splitter.(StreamSplitter); ok {
+				ss.SplitStream(input, yield)
+			} else {
+				for _, c := range splitter.Split(input) {
+					if !yield(c) {
+						break
+					}
 				}
 			}
+		}); err != nil {
+			cancelled = true
+			failRun(err)
 		}
 		if !cancelled {
 			dispatch(Block{Index: idx, Start: prev, End: n})
@@ -418,7 +448,16 @@ func RunCtx[R any](
 			continue
 		}
 		m0 := time.Now()
-		fold(it.b, it.r)
+		// The fold also reads input bytes (fragment repair reaches into
+		// neighbouring blocks), so it is guarded too; a fold panic fails
+		// the run and the loop keeps draining without folding further.
+		if err := Guarded(exec.Label, "merge", it.b.Index, func() {
+			faultinject.Fire("pipeline.merge", exec.Label, int64(it.b.Index))
+			fold(it.b, it.r)
+		}); err != nil {
+			failRun(err)
+			continue
+		}
 		mergeTime += time.Since(m0)
 		blocks++
 	}
@@ -437,6 +476,12 @@ func RunCtx[R any](
 	st.AllocObjects = ao1 - ao0
 	st.GCCycles = gc1 - gc0
 	if err := ctx.Err(); err != nil {
+		// Prefer the cancellation cause: a pass failure (panic, source
+		// fault) cancelled the run with its typed error as cause. Plain
+		// parent cancellation or deadline expiry leaves cause == err.
+		if cause := context.Cause(ctx); cause != nil {
+			return st, cause
+		}
 		return st, err
 	}
 	if poolClosed {

@@ -50,12 +50,24 @@ func NewPool(size int) *Pool {
 					return
 				}
 				p.busy.Add(1)
-				f()
+				runShielded(f)
 				p.busy.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// runShielded executes one granted task, keeping the worker alive if
+// the task panics. Every task submitted through RunCtx or TaskGroup
+// already converts its own panics into a typed pass failure (see
+// fault.go), so a panic reaching this recover means a task without
+// that envelope slipped in — the worker survives it as a last line of
+// defense, because one pass's fault must never take down the pool the
+// other tenants' passes run on.
+func runShielded(f func()) {
+	defer func() { _ = recover() }()
+	f()
 }
 
 // Size returns the number of workers.

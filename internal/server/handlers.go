@@ -2,6 +2,7 @@ package server
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,11 +25,73 @@ const maxRequestBody = 1 << 20
 // errorBody is the JSON error envelope for non-streaming failures.
 type errorBody struct {
 	Error string `json:"error"`
+	// Kind classifies the failure for programmatic handling; see
+	// errKind and the failure-modes table in docs/OPERATIONS.md.
+	Kind string `json:"kind,omitempty"`
+}
+
+// errorRecord is the in-band NDJSON error line a stream that already
+// committed its 200 terminates with when the pass fails mid-flight.
+type errorRecord struct {
+	Type  string `json:"type"` // "error"
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+}
+
+// errKind classifies an execution error for error records, error
+// bodies and the docs/OPERATIONS.md failure-modes table.
+func errKind(err error) string {
+	var pp *atgis.PassPanicError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, atgis.ErrSourceFault):
+		return "source_fault"
+	case errors.As(err, &pp):
+		return "panic"
+	case errors.Is(err, atgis.ErrOverloaded):
+		return "overload"
+	case errors.Is(err, atgis.ErrEngineClosed):
+		return "shutdown"
+	default:
+		return "internal"
+	}
+}
+
+// execErrorRecord builds the in-band terminal error line for err.
+func execErrorRecord(err error) errorRecord {
+	return errorRecord{Type: "error", Kind: errKind(err), Error: err.Error()}
+}
+
+// statusKind is the error kind implied by a validation-path status.
+func statusKind(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "overload"
+	case http.StatusServiceUnavailable:
+		return "shutdown"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
 }
 
 // writeError emits a JSON error with status code; 429s carry the
 // Retry-After estimate rounded up to whole seconds.
 func writeError(w http.ResponseWriter, status int, retryAfter time.Duration, format string, args ...any) {
+	writeErrorKind(w, status, statusKind(status), retryAfter, format, args...)
+}
+
+func writeErrorKind(w http.ResponseWriter, status int, kind string, retryAfter time.Duration, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests && retryAfter > 0 {
 		secs := int(math.Ceil(retryAfter.Seconds()))
@@ -38,13 +101,15 @@ func writeError(w http.ResponseWriter, status int, retryAfter time.Duration, for
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...), Kind: kind})
 }
 
 // writeExecError maps an engine execution error onto an HTTP status:
-// admission overload → 429 + Retry-After, closed engine → 503,
-// anything else → 500. Cancellation of the request's own context means
-// the client is gone; nothing useful can be written.
+// admission overload → 429 + Retry-After, closed engine → 503, a
+// request deadline that expired before the stream started → 504, a
+// confined pass failure (panic, source fault) → 500 with the typed
+// kind, anything else → 500. Cancellation of the request's own context
+// means the client is gone; nothing useful can be written.
 func writeExecError(w http.ResponseWriter, err error) {
 	var oe *atgis.OverloadError
 	switch {
@@ -53,9 +118,32 @@ func writeExecError(w http.ResponseWriter, err error) {
 			"overloaded: %d queued for tenant %q", oe.Queued, oe.Tenant)
 	case errors.Is(err, atgis.ErrEngineClosed):
 		writeError(w, http.StatusServiceUnavailable, 0, "engine shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, 0, "request deadline exceeded: %v", err)
 	default:
-		writeError(w, http.StatusInternalServerError, 0, "query failed: %v", err)
+		writeErrorKind(w, http.StatusInternalServerError, errKind(err), 0, "query failed: %v", err)
 	}
+}
+
+// withDeadline resolves the request's wall-clock budget — timeout_ms
+// when given (clamped to the server's MaxTimeout), else the server
+// default — and derives the bounded context. The budget feeds the
+// engine's cancellation path via context.WithTimeout, so an expired
+// request stops dispatching blocks mid-pass like a disconnect does.
+func (s *Server) withDeadline(ctx context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if s.maxTimeout > 0 && d > s.maxTimeout {
+			d = s.maxTimeout
+		}
+	} else if s.maxTimeout > 0 && (d == 0 || d > s.maxTimeout) {
+		d = s.maxTimeout
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // decodeBody parses the request JSON into v with a size cap.
@@ -69,9 +157,32 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// healthzResponse is the GET /healthz payload. Status is "ok" when
+// every registered source is healthy and "degraded" when any source
+// has a recorded fault; the HTTP status stays 200 either way — this is
+// a liveness probe, and restarting the process will not repair a
+// truncated source file. Degraded sources are listed with the fault
+// that marked them.
+type healthzResponse struct {
+	Status   string                 `json:"status"` // "ok" | "degraded"
+	Degraded map[string]sourceFault `json:"degraded_sources,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{Status: "ok"}
+	s.mu.RLock()
+	for name, e := range s.sources {
+		if f := e.fault.Load(); f != nil {
+			if resp.Degraded == nil {
+				resp.Degraded = make(map[string]sourceFault)
+			}
+			resp.Degraded[name] = *f
+			resp.Status = "degraded"
+		}
+	}
+	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	json.NewEncoder(w).Encode(resp)
 }
 
 // sourceInfo describes one registered source on the wire.
@@ -81,15 +192,24 @@ type sourceInfo struct {
 	Format string `json:"format"`
 	Bytes  int64  `json:"bytes"`
 	Passes int64  `json:"passes"`
+	// Healthy is false while the source carries a recorded fault (a
+	// memory fault reading its mapping — file truncated or deleted
+	// under the mmap). Fault then describes it; a later fully
+	// successful pass restores health.
+	Healthy bool         `json:"healthy"`
+	Fault   *sourceFault `json:"fault,omitempty"`
 }
 
 func (e *sourceEntry) info() sourceInfo {
+	f := e.fault.Load()
 	return sourceInfo{
-		Name:   e.name,
-		Path:   e.path,
-		Format: e.src.DataFormat().String(),
-		Bytes:  int64(len(e.src.Bytes())),
-		Passes: e.passes.Load(),
+		Name:    e.name,
+		Path:    e.path,
+		Format:  e.src.DataFormat().String(),
+		Bytes:   int64(len(e.src.Bytes())),
+		Passes:  e.passes.Load(),
+		Healthy: f == nil,
+		Fault:   f,
 	}
 }
 
@@ -188,6 +308,10 @@ type queryRequest struct {
 	// Limit caps the number of streamed feature records (0 = all).
 	// The pass still completes, so the summary covers the full input.
 	Limit int `json:"limit,omitempty"`
+	// TimeoutMS bounds the request's wall clock in milliseconds,
+	// overriding the server's default timeout (and clamped to its
+	// -max-timeout). 0 means use the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // compile validates the request into a query spec plus options.
@@ -535,6 +659,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, "%v", err)
 		return
 	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, 0, "timeout_ms must be >= 0")
+		return
+	}
 	pq, err := s.eng.Prepare(spec, opt)
 	if err != nil {
 		writeExecError(w, err)
@@ -542,22 +670,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The request context carries the tenant for admission and feeds
-	// the engine's cancellation path: a dropped connection cancels it,
-	// which stops the splitter and skips queued blocks mid-pass.
+	// the engine's cancellation path: a dropped connection — or the
+	// request's deadline expiring — cancels it, which stops the
+	// splitter and skips queued blocks mid-pass.
 	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
+	ctx, cancel := s.withDeadline(ctx, req.TimeoutMS)
+	defer cancel()
 	out := newNDJSONWriter(w, r)
 	defer out.stop() // flush the gzip tail and disarm the interval timer
 
 	if spec.Kind == query.Aggregation {
 		res, err := pq.Execute(ctx, entry.src)
 		if err != nil {
+			if errors.Is(err, atgis.ErrSourceFault) {
+				entry.markFault(err)
+			}
 			if r.Context().Err() != nil {
 				return // client gone; nowhere to report
 			}
 			writeExecError(w, err)
 			return
 		}
-		entry.passes.Add(1)
+		entry.passDone()
 		out.writeFinal(summarize(res))
 		return
 	}
@@ -595,6 +729,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	sum, err := res.Summary()
 	if err != nil {
+		if errors.Is(err, atgis.ErrSourceFault) {
+			entry.markFault(err)
+		}
 		if r.Context().Err() != nil {
 			return
 		}
@@ -603,10 +740,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// The stream already committed a 200; report in-band.
-		out.writeFinal(map[string]string{"type": "error", "error": err.Error()})
+		out.writeFinal(execErrorRecord(err))
 		return
 	}
-	entry.passes.Add(1)
+	entry.passDone()
 	out.writeFinal(summarize(sum))
 }
 
@@ -636,6 +773,10 @@ type joinRequest struct {
 	// partition-cell order, reordering within a window of this many
 	// cells (0 = unordered, the fastest).
 	OrderWindow int `json:"order_window,omitempty"`
+	// TimeoutMS bounds the request's wall clock in milliseconds,
+	// overriding the server's default timeout (and clamped to its
+	// -max-timeout). 0 means use the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // pairRecord is one streamed joined pair.
@@ -680,6 +821,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, "order_window must be >= 0")
 		return
 	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, 0, "timeout_ms must be >= 0")
+		return
+	}
 	spec := atgis.JoinSpec{CellSize: req.Cell, OrderWindow: req.OrderWindow}
 	selfJoin := false
 	switch req.Mask {
@@ -703,6 +848,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := atgis.WithTenant(r.Context(), tenantOf(r))
+	ctx, cancel := s.withDeadline(ctx, req.TimeoutMS)
+	defer cancel()
 	out := newNDJSONWriter(w, r)
 	defer out.stop() // flush the gzip tail and disarm the interval timer
 
@@ -724,6 +871,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	sum, err := pairs.Summary()
 	if err != nil {
+		if errors.Is(err, atgis.ErrSourceFault) {
+			entry.markFault(err)
+		}
 		if r.Context().Err() != nil {
 			return
 		}
@@ -731,10 +881,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			writeExecError(w, err)
 			return
 		}
-		out.writeFinal(map[string]string{"type": "error", "error": err.Error()})
+		out.writeFinal(execErrorRecord(err))
 		return
 	}
-	entry.passes.Add(1)
+	entry.passDone()
 	out.writeFinal(joinSummary{
 		Type:        "summary",
 		Streamed:    streamed,

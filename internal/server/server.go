@@ -55,19 +55,33 @@ type Config struct {
 	// files named by the client). Disable when the server fronts
 	// untrusted clients.
 	AllowRegister bool
+	// DefaultTimeout bounds each query/join request's wall clock when
+	// the request carries no timeout_ms field (0 = unbounded). Expiry
+	// before the stream starts returns 504; after, an in-band error
+	// record with kind "timeout".
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any client-requested timeout_ms (0 = uncapped).
+	// Requests asking for more are silently clamped — the cap is an
+	// operator bound, not a validation error.
+	MaxTimeout time.Duration
 }
 
 // Server is the HTTP front-end state: the engine plus the named-source
 // registry.
 type Server struct {
-	eng     *atgis.Engine
-	opt     atgis.Options
-	allow   bool
-	started time.Time
+	eng            *atgis.Engine
+	opt            atgis.Options
+	allow          bool
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	started        time.Time
 
 	// inflight tracks requests inside the handler so Close can wait for
-	// them before unmapping sources out from under running passes.
-	inflight sync.WaitGroup
+	// them before unmapping sources out from under running passes;
+	// inflightN mirrors it countably so shutdown can report how many
+	// streams a bounded drain abandoned.
+	inflight  sync.WaitGroup
+	inflightN atomic.Int64
 
 	mu      sync.RWMutex
 	sources map[string]*sourceEntry
@@ -79,16 +93,43 @@ type sourceEntry struct {
 	path   string
 	src    atgis.Source
 	passes atomic.Int64 // completed query/join passes over this source
+	// fault, when non-nil, records the source-level failure (a memory
+	// fault reading the mmap — file truncated or deleted under it) that
+	// marked this source unhealthy in /v1/stats and /healthz. A later
+	// fully successful pass clears it: a complete pass touched every
+	// block, so the mapping is readable again.
+	fault atomic.Pointer[sourceFault]
+}
+
+// sourceFault is the recorded reason a source is unhealthy; it is
+// serialised as-is into /v1/stats and /healthz.
+type sourceFault struct {
+	Error string    `json:"error"`
+	At    time.Time `json:"at"`
+}
+
+// markFault flags the source unhealthy with the pass error that hit it.
+func (e *sourceEntry) markFault(err error) {
+	e.fault.Store(&sourceFault{Error: err.Error(), At: time.Now()})
+}
+
+// passDone records one fully completed pass; a complete pass proves the
+// whole mapping readable, so it also clears any recorded fault.
+func (e *sourceEntry) passDone() {
+	e.passes.Add(1)
+	e.fault.Store(nil)
 }
 
 // New builds a Server around cfg.Engine with an empty source table.
 func New(cfg Config) *Server {
 	return &Server{
-		eng:     cfg.Engine,
-		opt:     cfg.Options,
-		allow:   cfg.AllowRegister,
-		started: time.Now(),
-		sources: make(map[string]*sourceEntry),
+		eng:            cfg.Engine,
+		opt:            cfg.Options,
+		allow:          cfg.AllowRegister,
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     cfg.MaxTimeout,
+		started:        time.Now(),
+		sources:        make(map[string]*sourceEntry),
 	}
 }
 
@@ -172,10 +213,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/join", s.handleJoin)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
-		defer s.inflight.Done()
+		s.inflightN.Add(1)
+		defer func() {
+			s.inflightN.Add(-1)
+			s.inflight.Done()
+		}()
 		mux.ServeHTTP(w, r)
 	})
 }
+
+// Inflight reports how many requests are currently inside handlers —
+// what a bounded shutdown drain abandons when it gives up waiting.
+func (s *Server) Inflight() int64 { return s.inflightN.Load() }
 
 // tenantOf extracts the admission tenant from a request: the
 // X-Atgis-Tenant header, or the anonymous tenant when absent.

@@ -1,0 +1,24 @@
+package wkt
+
+// FuzzWKTParseLine feeds arbitrary bytes to the tab-separated WKT line
+// parser. Like the GeoJSON block parsers it runs directly over mmap'd
+// user data inside worker goroutines, so the fuzz contract is strict
+// no-panic: malformed lines must return an error, never crash.
+
+import "testing"
+
+func FuzzWKTParseLine(f *testing.F) {
+	f.Add([]byte("42\tPOINT (1 2)"))
+	f.Add([]byte("7\tPOLYGON ((0 0, 1 0, 1 1, 0 0))"))
+	f.Add([]byte("-3\tMULTIPOLYGON (((0 0, 2 0, 2 2, 0 0)))"))
+	f.Add([]byte("1\tLINESTRING (0 0, 1 1, 2 0)"))
+	f.Add([]byte("POINT (1 2)"))
+	f.Add([]byte("9\tPOLYGON (("))
+	f.Add([]byte("1\tPOINT (1e309 -1e309)"))
+	f.Add([]byte("\t\t\t"))
+	f.Add([]byte("2\tGEOMETRYCOLLECTION (POINT (1 2))"))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		ParseLine(line, 0)
+	})
+}

@@ -1,0 +1,114 @@
+package main
+
+// End-to-end tests for both driver modes: the standalone multichecker
+// (atgis-lint ./...) and the go vet -vettool unitchecker protocol.
+// The seeded-violation halves are the self-test CI relies on: a bare
+// goroutine written into internal/pipeline must fail both paths, so a
+// regression that silently blinds the suite cannot pass as "clean".
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot returns the repo root (this file lives in cmd/atgis-lint).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// buildLint builds the atgis-lint binary into a temp dir.
+func buildLint(t *testing.T, root string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "atgis-lint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/atgis-lint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building atgis-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const seededViolation = `package pipeline
+
+// Seeded by cmd/atgis-lint's end-to-end test; if this file survives a
+// test run it is safe to delete.
+func zzLintSelftestSeed(work []func()) {
+	for _, w := range work {
+		go w()
+	}
+}
+`
+
+func TestEndToEnd(t *testing.T) {
+	root := moduleRoot(t)
+	bin := buildLint(t, root)
+
+	run := func(name string, args ...string) (string, int) {
+		cmd := exec.Command(name, args...)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return string(out), ee.ExitCode()
+		}
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		return "", -1
+	}
+
+	// The committed tree is clean under both drivers.
+	if out, code := run(bin, "./..."); code != 0 {
+		t.Fatalf("standalone atgis-lint on a clean tree: exit %d\n%s", code, out)
+	}
+	if out, code := run("go", "vet", "-vettool="+bin, "./internal/pipeline"); code != 0 {
+		t.Fatalf("go vet -vettool on a clean tree: exit %d\n%s", code, out)
+	}
+
+	// Seed a bare goroutine into internal/pipeline: both drivers must
+	// reject it. The file is valid Go (it only violates the lint
+	// contract), so a concurrently compiling package is unaffected.
+	seed := filepath.Join(root, "internal", "pipeline", "zz_lint_selftest_seed.go")
+	if err := os.WriteFile(seed, []byte(seededViolation), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(seed)
+
+	out, code := run(bin, "./internal/pipeline")
+	if code == 0 || !strings.Contains(out, "guardedgo") {
+		t.Fatalf("standalone atgis-lint missed the seeded violation: exit %d\n%s", code, out)
+	}
+	out, code = run("go", "vet", "-vettool="+bin, "./internal/pipeline")
+	if code == 0 || !strings.Contains(out, "guardedgo") {
+		t.Fatalf("go vet -vettool missed the seeded violation: exit %d\n%s", code, out)
+	}
+
+	if err := os.Remove(seed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListAnalyzers sanity-checks the -list surface the docs point at.
+func TestListAnalyzers(t *testing.T) {
+	root := moduleRoot(t)
+	bin := buildLint(t, root)
+	cmd := exec.Command(bin, "-list")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"guardedgo", "pairedrelease", "ctxflow", "mmapalias", "hotalloc"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces context discipline on the request/pass paths. Two
+// rules:
+//
+//  1. Inside the execution packages (internal/pipeline, internal/join,
+//     internal/server, internal/admission), context.Background() and
+//     context.TODO() are forbidden: a fresh root context detaches the
+//     work from the request's deadline and cancellation, so a dropped
+//     connection or expired budget no longer stops the pass. Entry
+//     points must thread the caller's ctx (legacy wrappers that
+//     deliberately detach carry an atgis-allow suppression explaining
+//     why).
+//
+//  2. Anywhere in the module, an exported function or method that
+//     accepts a context.Context but never uses it silently drops
+//     deadlines and cancellation its callers believe they passed in.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "request/pass paths must thread the caller's context: no context.Background()/TODO() in " +
+		"execution packages, no exported func that accepts a ctx and drops it",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	inExec := pkgCovered(pass, "internal/pipeline", "internal/join", "internal/server", "internal/admission")
+	for _, f := range pass.Files {
+		if inExec {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, qual := calleeParts(call)
+				if name != "Background" && name != "TODO" {
+					return true
+				}
+				if id, ok := qual.(*ast.Ident); ok && id.Name == "context" {
+					pass.Reportf(call.Pos(), "context.%s() on a request/pass path detaches the work "+
+						"from the caller's deadline and cancellation: thread the caller's ctx instead", name)
+				}
+				return true
+			})
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkDroppedCtx(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkDroppedCtx flags exported functions whose context.Context
+// parameter is never referenced even though the body does call other
+// code (so there was somewhere to pass it).
+func checkDroppedCtx(pass *Pass, fd *ast.FuncDecl) {
+	for _, field := range fd.Type.Params.List {
+		sel, ok := ast.Unparen(field.Type).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "context" {
+			continue
+		}
+		for _, nm := range field.Names {
+			if nm.Name == "_" {
+				continue // explicitly discarded by signature: a visible, deliberate choice
+			}
+			obj := objOf(pass, nm)
+			if obj == nil || usesObject(pass, fd.Body, obj) {
+				continue
+			}
+			if !bodyMakesCalls(fd.Body) {
+				continue
+			}
+			pass.Reportf(nm.Pos(), "exported %s accepts ctx but never uses it: callers' deadlines "+
+				"and cancellation are silently dropped (thread it, or name the parameter _ to "+
+				"make the drop explicit)", fd.Name.Name)
+		}
+	}
+}
+
+// bodyMakesCalls reports whether body contains any call expression —
+// a body that calls nothing has nowhere to thread a context.
+func bodyMakesCalls(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GuardedGo enforces the PR 6 fault-containment contract: inside the
+// engine's execution packages (internal/pipeline, internal/join,
+// internal/server), every goroutine must run its work under the
+// pipeline fault envelope — a call to Guarded / GuardedErr (panic →
+// typed pass error, SetPanicOnFault armed) or runShielded (worker
+// last-line recover) — somewhere in its body or in the same-package
+// function/closure it immediately invokes. A bare `go` whose body can
+// reach a panic or an mmap SIGBUS without passing through the envelope
+// kills the whole process and every tenant on it.
+var GuardedGo = &Analyzer{
+	Name: "guardedgo",
+	Doc: "goroutines in pipeline/join/server must run under the Guarded/runShielded fault envelope " +
+		"so a panic or mmap fault fails one pass, not the process",
+	Run: runGuardedGo,
+}
+
+// guardNames are the fault-envelope entry points. Matching is by final
+// callee name so fixtures can declare stand-ins; the real envelope
+// lives in internal/pipeline/fault.go and pool.go.
+var guardNames = map[string]bool{
+	"Guarded":     true,
+	"GuardedErr":  true,
+	"runShielded": true,
+	"RunShielded": true,
+}
+
+func runGuardedGo(pass *Pass) error {
+	if !pkgCovered(pass, "internal/pipeline", "internal/join", "internal/server") {
+		return nil
+	}
+	decls := funcDecls(pass)
+	for _, f := range pass.Files {
+		closures := localClosures(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goCallGuarded(pass, g.Call, decls, closures, 2) {
+				pass.Reportf(g.Pos(), "goroutine body never enters the fault envelope "+
+					"(pipeline.Guarded/runShielded): a panic or mmap fault here kills the "+
+					"process, not just this pass")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goCallGuarded reports whether the goroutine's immediate call enters
+// the fault envelope, chasing same-package declarations and local
+// closures up to depth levels of indirection.
+func goCallGuarded(pass *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl,
+	closures map[types.Object]*ast.FuncLit, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	name, _ := calleeParts(call)
+	if guardNames[name] {
+		return true
+	}
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if obj := objOf(pass, fun); obj != nil {
+			if fd, ok := decls[obj]; ok {
+				body = fd.Body
+			} else if lit, ok := closures[obj]; ok {
+				body = lit.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := objOf(pass, fun.Sel); obj != nil {
+			if fd, ok := decls[obj]; ok {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		// Unresolvable target (cross-package call, method value,
+		// interface dispatch): cannot prove the envelope — flag.
+		return false
+	}
+	return bodyGuarded(pass, body, decls, closures, depth)
+}
+
+// bodyGuarded reports whether any call inside body (closures included —
+// a worker loop often wraps the guarded call in a closure) enters the
+// envelope, following one more level of same-package/local indirection.
+func bodyGuarded(pass *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl,
+	closures map[types.Object]*ast.FuncLit, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	guarded := false
+	// Closures defined inside this body are also eligible targets for
+	// its calls.
+	inner := localClosures(pass, body)
+	for k, v := range closures {
+		inner[k] = v
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _ := calleeParts(call)
+		if guardNames[name] {
+			guarded = true
+			return false
+		}
+		// Follow one level of indirection through same-package funcs
+		// and local closures (e.g. `for it := range work { run(it) }`
+		// where run's body calls Guarded).
+		var next *ast.BlockStmt
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if obj := objOf(pass, fun); obj != nil {
+				if fd, ok := decls[obj]; ok {
+					next = fd.Body
+				} else if lit, ok := inner[obj]; ok {
+					next = lit.Body
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj := objOf(pass, fun.Sel); obj != nil {
+				if fd, ok := decls[obj]; ok {
+					next = fd.Body
+				}
+			}
+		}
+		if next != nil && next != body && bodyGuarded(pass, next, decls, inner, depth-1) {
+			guarded = true
+			return false
+		}
+		return true
+	})
+	return guarded
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAllocDirective marks a function as a zero-allocation hot path:
+// the lexer scan loops, the SWAR/Eisel–Lemire number parsers, and the
+// per-block GeoJSON/WKT/OSM-XML machines whose throughput the Fig9a
+// reproduction depends on. Marked functions are enforced two ways:
+//
+//   - statically here: constructs that allocate on every execution
+//     (fmt formatting, string concatenation, string<->[]byte
+//     conversions outside free contexts, make/new, closure literals)
+//     are flagged at the source line;
+//   - authoritatively by `atgis-lint -hotalloc`, which diffs the
+//     compiler's escape analysis (-gcflags=-m) for marked functions
+//     against the committed internal/analysis/hotalloc.budget file and
+//     fails on any new heap escape.
+const HotAllocDirective = "//atgis:hotpath"
+
+// HotAlloc is the static half of the hot-path allocation contract.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "//atgis:hotpath functions must not contain per-call allocation constructs; the escape " +
+		"diff (atgis-lint -hotalloc) enforces the committed heap-escape budget",
+	Run: runHotAlloc,
+}
+
+// hasHotPathDirective reports whether a doc comment carries the
+// directive (as its own line, the gofmt-preserved directive form).
+func hasHotPathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == HotAllocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Directives attached to anything but a function declaration
+		// are dead markers the escape diff would silently skip.
+		marked := map[*ast.CommentGroup]bool{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && hasHotPathDirective(fd.Doc) {
+				marked[fd.Doc] = true
+				checkHotBody(pass, fd)
+			}
+		}
+		for _, cg := range f.Comments {
+			if hasHotPathDirective(cg) && !marked[cg] {
+				pass.Reportf(cg.Pos(), "%s directive is not attached to a function declaration: "+
+					"it marks nothing and the escape diff will skip it", HotAllocDirective)
+			}
+		}
+	}
+	return nil
+}
+
+// allocFmtFuncs are fmt functions that allocate their result or box
+// their arguments on every call.
+var allocFmtFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Printf": true, "Print": true, "Println": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// checkHotBody flags per-call allocation constructs in a marked
+// function. The checks are conservative companions to the escape diff:
+// each can in principle be stack-allocated in context, so every
+// diagnostic is suppressible — but on these loops the burden of proof
+// sits with the code, not the reviewer.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			cname, qual := calleeParts(e)
+			if qid, ok := qual.(*ast.Ident); ok && qid.Name == "fmt" && allocFmtFuncs[cname] {
+				pass.Reportf(e.Pos(), "hot path %s calls fmt.%s: formats (and boxes arguments) "+
+					"on every call", name, cname)
+				return true
+			}
+			switch fun := ast.Unparen(e.Fun).(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make":
+					pass.Reportf(e.Pos(), "hot path %s calls make: allocate scratch once outside "+
+						"the loop or pool it", name)
+				case "new":
+					pass.Reportf(e.Pos(), "hot path %s calls new: allocate scratch once outside "+
+						"the loop or pool it", name)
+				case "string":
+					if len(e.Args) == 1 && exprIsByteSlice(pass, e.Args[0]) && !freeStringConv(stack) {
+						pass.Reportf(e.Pos(), "hot path %s converts []byte to string: copies on "+
+							"every call (map lookups and comparisons are free contexts)", name)
+					}
+				}
+			case *ast.ArrayType:
+				// []byte(s) conversion.
+				if fun.Len == nil && len(e.Args) == 1 && exprIsString(pass, e.Args[0]) {
+					pass.Reportf(e.Pos(), "hot path %s converts string to []byte: copies on every "+
+						"call", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && exprIsString(pass, e.X) {
+				pass.Reportf(e.Pos(), "hot path %s concatenates strings: allocates on every call", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "hot path %s defines a closure: captures allocate when the "+
+				"closure escapes (hoist it or pass state explicitly)", name)
+			return false // don't double-report constructs inside it
+		}
+		return true
+	})
+}
+
+// exprIsByteSlice reports whether e's static type is []byte.
+func exprIsByteSlice(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isByteSlice(tv.Type)
+}
+
+// exprIsString reports whether e's static type is a string.
+func exprIsString(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// freeStringConv reports whether the string([]byte) conversion sits in
+// a context the compiler keeps allocation-free: a map index key, a
+// comparison operand, or a switch tag (which compiles to comparisons
+// against the case values).
+func freeStringConv(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SwitchStmt:
+			// Only reachable from the tag position: a conversion inside
+			// a case body has a CaseClause between it and the switch,
+			// which the default arm below rejects first.
+			return true
+		case *ast.BinaryExpr:
+			if p.Op == token.EQL || p.Op == token.NEQ {
+				return true
+			}
+			return false
+		case *ast.ParenExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}

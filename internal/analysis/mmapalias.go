@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MmapAlias guards the pass-lifetime contract on raw input bytes. The
+// engine hands parsers and pipeline phases []byte windows into an
+// mmap'd source (or a pass-scoped read buffer); those bytes are only
+// valid for the duration of the pass — afterwards the mapping may be
+// unmapped, remapped, or the file truncated (PR 6 turns the resulting
+// SIGBUS into a pass failure, but a stale alias read from a *different*
+// pass is silent corruption, not a contained fault).
+//
+// Within the byte-touching packages (lexer, geojson, wkt, osmxml,
+// pipeline, join), the analyzer flags stores that move a []byte derived
+// from a function's []byte parameter — the block/source window — into
+// homes that outlive the pass: package-level variables, any map value
+// or []byte map key, channel sends, and fields of package-level
+// objects. Retaining requires an explicit copy (append to a fresh
+// slice, bytes.Clone, []byte(string(b)) — conversions break the
+// derivation chain, so copies are never flagged).
+var MmapAlias = &Analyzer{
+	Name: "mmapalias",
+	Doc: "mmap/block-derived []byte must not be stored into globals, maps or channels without a " +
+		"copy: the bytes die with the pass",
+	Run: runMmapAlias,
+}
+
+func runMmapAlias(pass *Pass) error {
+	if !pkgCovered(pass, "internal/lexer", "internal/geojson", "internal/wkt",
+		"internal/osmxml", "internal/pipeline", "internal/join") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncAliases(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isByteSlice reports whether t is []byte (possibly named).
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkFuncAliases tracks []byte values derived from fd's []byte
+// parameters through slicing and local assignment, and flags stores
+// that let them outlive the pass.
+func checkFuncAliases(pass *Pass, fd *ast.FuncDecl) {
+	derived := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, nm := range field.Names {
+			if obj := objOf(pass, nm); obj != nil && isByteSlice(obj.Type()) {
+				derived[obj] = true
+			}
+		}
+	}
+	if len(derived) == 0 {
+		return
+	}
+
+	// isDerived: derivation flows through identifiers, slicing and
+	// parens only; any conversion, append, or function call is a copy
+	// boundary (or at least an explicit decision point).
+	var isDerived func(e ast.Expr) bool
+	isDerived = func(e ast.Expr) bool {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := objOf(pass, v)
+			return obj != nil && derived[obj]
+		case *ast.SliceExpr:
+			return isDerived(v.X)
+		}
+		return false
+	}
+
+	// Propagate through local `b := data[i:j]` chains to a fixed point
+	// (two passes cover any forward/backward declaration order in
+	// practice).
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for j, rhs := range as.Rhs {
+				if j >= len(as.Lhs) || !isDerived(rhs) {
+					continue
+				}
+				if id, ok := as.Lhs[j].(*ast.Ident); ok {
+					if obj := objOf(pass, id); obj != nil && isLocalVar(pass, obj) {
+						derived[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(), "%s stores block/source-derived []byte that dies with the pass: "+
+			"copy it first (append to a fresh slice / bytes.Clone) or prove the home is "+
+			"pass-scoped", what)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for j, rhs := range st.Rhs {
+				if j >= len(st.Lhs) || !isDerived(rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(st.Lhs[j]).(type) {
+				case *ast.IndexExpr:
+					if tv, ok := pass.TypesInfo.Types[lhs.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							report(st, "map value assignment")
+						}
+					}
+				case *ast.Ident:
+					if obj := objOf(pass, lhs); obj != nil && isPkgLevel(pass, obj) {
+						report(st, "package-level variable assignment")
+					}
+				case *ast.SelectorExpr:
+					if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+						if obj := objOf(pass, base); obj != nil && isPkgLevel(pass, obj) {
+							report(st, "field store on a package-level object")
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isDerived(st.Value) {
+				report(st, "channel send")
+			}
+		}
+		return true
+	})
+}
+
+// isLocalVar reports whether obj is a function-local variable.
+func isLocalVar(pass *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() != nil && pass.Pkg != nil && v.Parent() != pass.Pkg.Scope()
+}
+
+// isPkgLevel reports whether obj is declared at package scope.
+func isPkgLevel(pass *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return pass.Pkg != nil && v.Parent() == pass.Pkg.Scope()
+}

@@ -1,0 +1,13 @@
+// Package server holds a suppression without the mandatory reason:
+// the directive must itself be reported, and must NOT silence the
+// diagnostic it rides above.
+package server
+
+import "context"
+
+func handle(ctx context.Context) {}
+
+func detached() {
+	//lint:atgis-allow ctxflow
+	handle(context.Background())
+}

@@ -1,0 +1,47 @@
+// Package server stands in for the execution packages: ctxflow's
+// no-fresh-root rule matches fixtures by package name; the dropped-ctx
+// rule applies to exported functions everywhere.
+package server
+
+import "context"
+
+func handle(ctx context.Context) {}
+
+func work() {}
+
+func badBackground() {
+	handle(context.Background()) // want `context.Background\(\) on a request/pass path`
+}
+
+func badTODO() {
+	handle(context.TODO()) // want `context.TODO\(\) on a request/pass path`
+}
+
+func Dropped(ctx context.Context, n int) { // want `exported Dropped accepts ctx but never uses it`
+	work()
+}
+
+// Threaded passes its ctx on: fine.
+func Threaded(ctx context.Context) {
+	handle(ctx)
+}
+
+// Discarded names the parameter _: a visible, deliberate drop.
+func Discarded(_ context.Context) {
+	work()
+}
+
+// dropped is unexported: local callers can see the drop.
+func dropped(ctx context.Context) {
+	work()
+}
+
+// Leaf makes no calls, so there is nowhere to thread the ctx.
+func Leaf(ctx context.Context) int {
+	return 1
+}
+
+func approvedDetach() {
+	//lint:atgis-allow ctxflow fixture exception: deliberately detached maintenance task
+	handle(context.Background())
+}

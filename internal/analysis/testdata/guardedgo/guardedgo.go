@@ -1,0 +1,62 @@
+// Package pipeline is a self-contained stand-in for the engine's
+// execution package: guardedgo matches fixtures by package name, and
+// matches the fault-envelope entry points by callee name, so the
+// fixture declares local doubles for pipeline.Guarded and runShielded.
+package pipeline
+
+// Guarded doubles for the real fault envelope (internal/pipeline/fault.go).
+func Guarded(stage, detail string, f func() error) error { return f() }
+
+// runShielded doubles for the worker last-line shield (internal/pipeline/pool.go).
+func runShielded(f func()) { f() }
+
+func process(b []byte) {}
+
+// guardedWorker enters the envelope, so goroutines running it are fine.
+func guardedWorker(b []byte) {
+	_ = Guarded("stage", "detail", func() error {
+		process(b)
+		return nil
+	})
+}
+
+func bareGoroutine(work [][]byte) {
+	for _, b := range work {
+		go func(b []byte) { // want `goroutine body never enters the fault envelope`
+			process(b)
+		}(b)
+	}
+}
+
+type runner interface{ Run() }
+
+func unresolvableTarget(r runner) {
+	go r.Run() // want `goroutine body never enters the fault envelope`
+}
+
+func directGuard(b []byte) {
+	go func() {
+		_ = Guarded("stage", "detail", func() error {
+			process(b)
+			return nil
+		})
+	}()
+}
+
+func shieldedClosure(f func()) {
+	go func() { runShielded(f) }()
+}
+
+func namedTarget(b []byte) {
+	go guardedWorker(b)
+}
+
+func localClosureTarget(b []byte) {
+	run := func() { guardedWorker(b) }
+	go run()
+}
+
+func approvedBare() {
+	//lint:atgis-allow guardedgo fixture exception: the body provably cannot panic
+	go func() { process(nil) }()
+}

@@ -1,0 +1,50 @@
+// Package hot exercises the static half of the hot-path allocation
+// contract: //atgis:hotpath bodies must stay free of per-call
+// allocation constructs, with map lookups, comparisons and switch tags
+// recognised as allocation-free string-conversion contexts.
+package hot
+
+import "fmt"
+
+var table = map[string]int{"point": 1}
+
+//atgis:hotpath
+func badAllocs(b []byte, n int) string {
+	s := fmt.Sprintf("tok-%d", n) // want `calls fmt.Sprintf`
+	scratch := make([]byte, 64)   // want `calls make`
+	_ = scratch
+	p := new(int) // want `calls new`
+	_ = p
+	name := string(b) // want `converts \[\]byte to string`
+	_ = name
+	raw := []byte(s) // want `converts string to \[\]byte`
+	_ = raw
+	return s + "!" // want `concatenates strings`
+}
+
+//atgis:hotpath
+func badClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want `defines a closure`
+}
+
+//atgis:hotpath
+func goodFreeContexts(b []byte) int {
+	if string(b) == "point" {
+		return table[string(b)]
+	}
+	switch string(b) {
+	case "line":
+		return 2
+	}
+	return 0
+}
+
+// unmarked functions may allocate freely.
+func unmarked(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+//atgis:hotpath
+func approvedSlowPath(b []byte) string {
+	return string(b) //lint:atgis-allow hotalloc fixture exception: one copy on the miss path is accepted
+}

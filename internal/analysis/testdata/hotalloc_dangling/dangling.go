@@ -1,0 +1,7 @@
+// Package hot holds a //atgis:hotpath directive attached to a var
+// declaration — a dead marker the analyzer must report (the escape
+// diff would silently skip it).
+package hot
+
+//atgis:hotpath
+var dangling = 1

@@ -1,0 +1,31 @@
+// Package lexer stands in for the byte-touching packages: mmapalias
+// matches fixtures by package name. The []byte parameters play the
+// role of mmap'd block windows.
+package lexer
+
+var lastToken []byte
+
+type state struct{ prev []byte }
+
+var shared state
+
+func badStores(block []byte, keys map[string][]byte, out chan<- []byte) {
+	tok := block[4:12]
+	keys["k"] = tok       // want `map value assignment stores block/source-derived`
+	lastToken = block[:4] // want `package-level variable assignment stores`
+	shared.prev = tok[1:] // want `field store on a package-level object`
+	out <- tok            // want `channel send stores`
+}
+
+// goodCopies breaks the derivation chain before every store: append to
+// a fresh slice and round-tripping through string are both copies.
+func goodCopies(block []byte, keys map[string][]byte, out chan<- []byte) {
+	tok := append([]byte(nil), block[4:12]...)
+	keys["k"] = tok
+	lastToken = []byte(string(block[:4]))
+	out <- tok
+}
+
+func approvedScratch(block []byte, scratch map[string][]byte) {
+	scratch["cur"] = block //lint:atgis-allow mmapalias fixture exception: scratch map is cleared before the pass returns
+}

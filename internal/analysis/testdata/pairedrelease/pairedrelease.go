@@ -1,0 +1,121 @@
+// Package fixture exercises the pairedrelease protocols with local
+// stand-ins for the engine's paired resources: an admission Gate whose
+// Acquire returns a release func, a Pool whose Register returns a
+// handle that must be Closed, and the real compress/gzip writer.
+package fixture
+
+import (
+	"compress/gzip"
+	"errors"
+	"io"
+)
+
+// Gate doubles for admission.Gate.
+type Gate struct{}
+
+func (g *Gate) Acquire(n int64) (func(), error) { return func() {}, nil }
+
+// PassHandle and Pool double for the scheduler registration protocol.
+type PassHandle struct{}
+
+func (h *PassHandle) Close() {}
+
+type Pool struct{}
+
+func (p *Pool) Register(label string) *PassHandle { return &PassHandle{} }
+
+func work() {}
+
+func goodDeferred(g *Gate) error {
+	release, err := g.Acquire(1)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return nil
+}
+
+// goodOwnershipTransfer returns the release func: the caller owns it.
+func goodOwnershipTransfer(g *Gate) (func(), error) {
+	release, err := g.Acquire(1)
+	if err != nil {
+		return nil, err
+	}
+	return release, nil
+}
+
+// goodStraightLine releases without defer and without any intervening
+// return other than the acquire's own error check.
+func goodStraightLine(g *Gate) error {
+	release, err := g.Acquire(1)
+	if err != nil {
+		return err
+	}
+	work()
+	release()
+	return nil
+}
+
+func badDiscarded(g *Gate) {
+	g.Acquire(1) // want `admission slot .* acquired and immediately discarded`
+}
+
+func badBlank(g *Gate) error {
+	_, err := g.Acquire(1) // want `acquired into _`
+	return err
+}
+
+func badNeverReleased(g *Gate) bool {
+	release, err := g.Acquire(1) // want `acquired but never released`
+	if err != nil {
+		return false
+	}
+	return release != nil
+}
+
+func badEarlyReturn(g *Gate, fail bool) error {
+	release, err := g.Acquire(1)
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("leaked") // want `return leaks admission slot`
+	}
+	release()
+	return nil
+}
+
+func goodRegister(p *Pool) {
+	h := p.Register("tenant")
+	defer h.Close()
+}
+
+func badRegister(p *Pool) bool {
+	h := p.Register("tenant") // want `scheduler pass registration .* never released`
+	return h != nil
+}
+
+func goodGzip(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	defer zw.Close()
+	_, err := zw.Write([]byte("payload"))
+	return err
+}
+
+// goodGzipReturnClose releases inside the final return statement.
+func goodGzipReturnClose(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	work()
+	return zw.Close()
+}
+
+func badGzip(w io.Writer) error {
+	zw := gzip.NewWriter(w) // want `gzip writer .* never released`
+	_, err := zw.Write([]byte("payload"))
+	return err
+}
+
+func approvedLeak(g *Gate) bool {
+	release, _ := g.Acquire(1) //lint:atgis-allow pairedrelease fixture exception: released by the caller via captured state
+	return release != nil
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// This file implements the `go vet -vettool` unit-checker protocol:
+// for each package, cmd/go hands the tool a JSON config describing the
+// package's files and the export data of its (already-built)
+// dependencies, and expects facts output (we produce none) plus
+// diagnostics on stderr with a non-zero exit. Together with the
+// -V=full and -flags handshakes in cmd/atgis-lint, this lets the suite
+// run as `go vet -vettool=$(which atgis-lint) ./...` in addition to
+// standalone mode.
+
+// VetConfig mirrors the fields of cmd/go's vet config file the suite
+// needs (the full struct has more; unknown fields are ignored).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetConfig reads a vet .cfg file and type-checks the package it
+// describes, resolving imports from the export data paths cmd/go
+// already computed.
+func LoadVetConfig(cfgPath string) (*Package, *VetConfig, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typeCheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		return nil, &cfg, err
+	}
+	return pkg, &cfg, nil
+}
+
+// WriteVetx writes the (empty) facts output the protocol requires; the
+// suite defines no cross-package facts, but cmd/go still expects the
+// file to exist.
+func WriteVetx(cfg *VetConfig) error {
+	if cfg == nil || cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}

@@ -1,0 +1,176 @@
+package faultinject
+
+// Drift check: the fault-injection site names exist in three places —
+// the faultinject.Fire call sites in production code, the "Sites
+// currently instrumented" list in this package's doc comment, and the
+// fault-injection section of docs/OPERATIONS.md. Operators grep the
+// docs to arm chaos hooks, so a site added (or renamed) in code but
+// not in the docs is an operational trap. This test holds all three
+// lists equal, in both directions.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var sitePattern = regexp.MustCompile(`^[a-z]+\.[a-z_]+$`)
+
+// codeSites finds every faultinject.Fire("<site>", ...) literal in the
+// module's non-test Go files.
+func codeSites(t *testing.T) map[string]bool {
+	t.Helper()
+	root := filepath.Join("..", "..")
+	sites := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "bin", "testdata", ".github":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Fire" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "faultinject" {
+				return true
+			}
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				sites[strings.Trim(lit.Value, `"`)] = true
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites
+}
+
+// docCommentSites parses the "Sites currently instrumented" block out
+// of this package's doc comment.
+func docCommentSites(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "faultinject.go", nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Doc == nil {
+		t.Fatal("faultinject.go has no package doc comment")
+	}
+	sites := map[string]bool{}
+	in := false
+	for _, line := range strings.Split(f.Doc.Text(), "\n") {
+		if strings.Contains(line, "Sites currently instrumented") {
+			in = true
+			continue
+		}
+		if !in {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if !sitePattern.MatchString(fields[0]) {
+			break // past the site table
+		}
+		sites[fields[0]] = true
+	}
+	if !in {
+		t.Fatal(`faultinject.go doc comment lost its "Sites currently instrumented" list`)
+	}
+	return sites
+}
+
+// operationsSites extracts the backticked site names from the fault-
+// injection section of docs/OPERATIONS.md.
+func operationsSites(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "## Fault injection") {
+			start = i + 1
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatal(`docs/OPERATIONS.md lost its "## Fault injection" section`)
+	}
+	section := []string{}
+	for _, l := range lines[start:] {
+		if strings.HasPrefix(l, "## ") {
+			break
+		}
+		section = append(section, l)
+	}
+	sites := map[string]bool{}
+	for _, m := range regexp.MustCompile("`([^`]+)`").FindAllStringSubmatch(strings.Join(section, "\n"), -1) {
+		if sitePattern.MatchString(m[1]) {
+			sites[m[1]] = true
+		}
+	}
+	return sites
+}
+
+func names(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFaultSiteDrift(t *testing.T) {
+	code := codeSites(t)
+	doc := docCommentSites(t)
+	ops := operationsSites(t)
+	if len(code) == 0 {
+		t.Fatal("no faultinject.Fire call sites found in the tree")
+	}
+	diff := func(aName string, a map[string]bool, bName string, b map[string]bool) {
+		for s := range a {
+			if !b[s] {
+				t.Errorf("site %q is in %s but missing from %s (%s has %v)",
+					s, aName, bName, bName, names(b))
+			}
+		}
+	}
+	diff("code", code, "the faultinject.go doc list", doc)
+	diff("the faultinject.go doc list", doc, "code", code)
+	diff("code", code, "docs/OPERATIONS.md", ops)
+	diff("docs/OPERATIONS.md", ops, "code", code)
+}

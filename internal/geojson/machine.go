@@ -452,6 +452,8 @@ func (m *Machine) inResolved() bool {
 
 // OnToken processes one structural token; gaps between tokens are parsed
 // for primitive values automatically.
+//
+//atgis:hotpath
 func (m *Machine) OnToken(tok lexer.Token) {
 	if m.err != nil {
 		return

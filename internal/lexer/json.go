@@ -99,6 +99,8 @@ var jsonStructural = [256]Kind{
 // in-string state skips payload bytes with bytes.IndexByte (memchr), so
 // long string runs cost a vectorised scan instead of a byte-at-a-time
 // state machine.
+//
+//atgis:hotpath
 func ScanJSON(q at.State, block []byte, baseOff int64, emit func(Token)) at.State {
 	n := len(block)
 	i := 0

@@ -32,6 +32,8 @@ const (
 // Comment and CDATA openers are detected by lookahead at the '<'; exits
 // are detected by matching the closing delimiters byte-by-byte, tracked
 // with the aux counter folded into the state transitions below.
+//
+//atgis:hotpath
 func ScanXML(q at.State, block []byte, baseOff int64, emit func(Token)) at.State {
 	i := 0
 	n := len(block)

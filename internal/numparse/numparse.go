@@ -53,6 +53,8 @@ var pow10 = [...]float64{
 // Prefix parses the longest decimal number at the start of b (sign,
 // integral, fraction, exponent), returning the value, the number of
 // bytes consumed, and whether at least one digit was found.
+//
+//atgis:hotpath
 func Prefix(b []byte) (float64, int, bool) {
 	i := 0
 	neg := false
@@ -173,6 +175,7 @@ func Prefix(b []byte) (float64, int, bool) {
 			return v, i, true
 		}
 	}
+	//lint:atgis-allow hotalloc strconv fallback is the rare slow path (truncated mantissa or extreme exponent); the fast path above is allocation-free
 	v, err := strconv.ParseFloat(string(b[:i]), 64)
 	if err != nil {
 		// Range errors still carry the clamped value (±Inf on overflow,
@@ -191,6 +194,8 @@ func Prefix(b []byte) (float64, int, bool) {
 // (negated when neg), or ok = false when the 128-bit approximation cannot
 // certify the rounding (ambiguous half-way cases, exponents outside
 // pow10tab, overflow, subnormals) and the caller must fall back.
+//
+//atgis:hotpath
 func eiselLemire(mant uint64, exp10 int, neg bool) (float64, bool) {
 	if mant == 0 {
 		if neg {
@@ -301,6 +306,7 @@ func hasNonzeroMantissaDigit(b []byte) bool {
 	return false
 }
 
+//atgis:hotpath
 func intPrefix(b []byte) (int64, int, bool) {
 	i := 0
 	neg := false

@@ -130,6 +130,8 @@ type attrScanner struct {
 // attr returns the value of the named attribute, or nil if absent.
 // The name is matched in place (no pattern materialisation) so the
 // parallel first pass stays allocation-free per attribute.
+//
+//atgis:hotpath
 func (s attrScanner) attr(name string) []byte {
 	n := len(name)
 	for i := 0; i+n+2 < len(s.b); i++ {
@@ -173,6 +175,8 @@ func (s attrScanner) attrFloat(name string) (float64, bool) {
 
 // internAttr maps the small closed vocabulary of member attributes to
 // shared string constants, avoiding a per-member allocation.
+//
+//atgis:hotpath
 func internAttr(b []byte) string {
 	switch string(b) {
 	case "":
@@ -188,7 +192,7 @@ func internAttr(b []byte) string {
 	case "inner":
 		return "inner"
 	}
-	return string(b)
+	return string(b) //lint:atgis-allow hotalloc one copy on intern miss is the point: members outlive the mapped block (mmapalias)
 }
 
 // ElementKind classifies a top-level OSM element.
@@ -203,6 +207,8 @@ const (
 )
 
 // lineKind classifies one line of planet-style OSM XML.
+//
+//atgis:hotpath
 func lineKind(line []byte) ElementKind {
 	i := 0
 	for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
@@ -238,6 +244,8 @@ type Handler struct {
 // ParseBlock parses the element lines in input[start:end). Blocks must
 // begin at line starts; multi-line elements (way, relation) must be fully
 // contained, which SplitElements guarantees.
+//
+//atgis:hotpath
 func ParseBlock(input []byte, start, end int64, h *Handler) error {
 	pos := start
 	var way *Way
@@ -260,7 +268,7 @@ func ParseBlock(input []byte, start, end int64, h *Handler) error {
 			lat, ok2 := sc.attrFloat("lat")
 			lon, ok3 := sc.attrFloat("lon")
 			if !ok1 || !ok2 || !ok3 {
-				return fmt.Errorf("osmxml: bad node at offset %d: %.60q", lineOff, line)
+				return fmt.Errorf("osmxml: bad node at offset %d: %.60q", lineOff, line) //lint:atgis-allow hotalloc cold malformed-input error path, aborts the block
 			}
 			if h.OnNode != nil {
 				h.OnNode(id, geom.Point{X: lon, Y: lat})
@@ -268,7 +276,7 @@ func ParseBlock(input []byte, start, end int64, h *Handler) error {
 		case hasPrefix(line, "<way"):
 			id, ok := sc.attrInt("id")
 			if !ok {
-				return fmt.Errorf("osmxml: bad way at offset %d", lineOff)
+				return fmt.Errorf("osmxml: bad way at offset %d", lineOff) //lint:atgis-allow hotalloc cold malformed-input error path, aborts the block
 			}
 			way = &Way{ID: id, Off: lineOff}
 			if line[len(line)-2] == '/' { // self-closing
@@ -285,7 +293,7 @@ func ParseBlock(input []byte, start, end int64, h *Handler) error {
 		case hasPrefix(line, "<relation"):
 			id, ok := sc.attrInt("id")
 			if !ok {
-				return fmt.Errorf("osmxml: bad relation at offset %d", lineOff)
+				return fmt.Errorf("osmxml: bad relation at offset %d", lineOff) //lint:atgis-allow hotalloc cold malformed-input error path, aborts the block
 			}
 			rel = &Relation{ID: id, Off: lineOff}
 			if line[len(line)-2] == '/' {
@@ -315,17 +323,17 @@ func ParseBlock(input []byte, start, end int64, h *Handler) error {
 				})
 			}
 		case hasPrefix(line, "<tag"):
-			k := string(sc.attr("k"))
-			v := string(sc.attr("v"))
+			k := string(sc.attr("k")) //lint:atgis-allow hotalloc tag keys are retained in the element map beyond the mapped block, so the copy is required
+			v := string(sc.attr("v")) //lint:atgis-allow hotalloc tag values are retained in the element map beyond the mapped block, so the copy is required
 			switch {
 			case way != nil:
 				if way.Tags == nil {
-					way.Tags = make(map[string]string)
+					way.Tags = make(map[string]string) //lint:atgis-allow hotalloc lazy per-element map, allocated only for the minority of tagged ways
 				}
 				way.Tags[k] = v
 			case rel != nil:
 				if rel.Tags == nil {
-					rel.Tags = make(map[string]string)
+					rel.Tags = make(map[string]string) //lint:atgis-allow hotalloc lazy per-element map, allocated only for the minority of tagged relations
 				}
 				rel.Tags[k] = v
 			}

@@ -242,7 +242,7 @@ func Run[R any](
 	process func(b Block) R,
 	fold func(b Block, r R),
 ) Stats {
-	st, _ := RunCtx(context.Background(), input, splitter, Exec{Workers: workers}, process, fold)
+	st, _ := RunCtx(context.Background(), input, splitter, Exec{Workers: workers}, process, fold) //lint:atgis-allow ctxflow Run is the documented uncancellable legacy form; serving paths use RunCtx
 	return st
 }
 

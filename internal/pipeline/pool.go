@@ -97,11 +97,16 @@ func (p *Pool) Register(ctx context.Context, label string, weight int, kind Pass
 		if done := ctx.Done(); done != nil {
 			h.watch = make(chan struct{})
 			go func(stop chan struct{}) {
-				select {
-				case <-done:
-					h.Drain()
-				case <-stop:
-				}
+				// Shielded like the workers: a panic while draining a
+				// cancelled pass (a scheduler bug) must fail that pass,
+				// never the process every other tenant runs in.
+				runShielded(func() {
+					select {
+					case <-done:
+						h.Drain()
+					case <-stop:
+					}
+				})
 			}(h.watch)
 		}
 	}

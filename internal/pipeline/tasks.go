@@ -38,7 +38,10 @@ type TaskGroup struct {
 // goroutines) admitting at most window in-flight tasks (minimum 1).
 func NewTaskGroup(ctx context.Context, handle *PassHandle, window int) *TaskGroup {
 	if ctx == nil {
-		ctx = context.Background()
+		// A nil ctx means the caller runs uncancellable by choice
+		// (transient, pool-less sweeps in tests and benchmarks); every
+		// serving path passes a real request context.
+		ctx = context.Background() //lint:atgis-allow ctxflow nil-ctx fallback for pool-less callers, not a request path
 	}
 	if window < 1 {
 		window = 1
@@ -67,7 +70,12 @@ func (g *TaskGroup) Go(task func()) bool {
 		task()
 	}
 	if g.handle == nil {
-		go run()
+		// Transient goroutines get the same last-line shield pool
+		// workers have (runShielded in pool.go): tasks submitted here
+		// wrap their own panics into typed pass errors via Guarded, so
+		// a panic reaching this recover is a task that skipped the
+		// envelope — it must not take down the process.
+		go func() { runShielded(run) }()
 		return true
 	}
 	if !g.handle.Submit(run) {

@@ -20,6 +20,8 @@ import (
 // geometry ("POINT (1 2)") with no id prefix, in which case the line's
 // byte offset doubles as the feature id. off is the byte offset of the
 // line start, recorded on the feature for join re-parsing.
+//
+//atgis:hotpath
 func ParseLine(line []byte, off int64) (geom.Feature, error) {
 	f := geom.Feature{Offset: off}
 	i := 0
@@ -45,7 +47,7 @@ func ParseLine(line []byte, off int64) (geom.Feature, error) {
 		i++
 	}
 	if i == start {
-		return f, fmt.Errorf("wkt: missing id in %.40q", line)
+		return f, fmt.Errorf("wkt: missing id in %.40q", line) //lint:atgis-allow hotalloc cold malformed-line error path
 	}
 	if neg {
 		f.ID = -f.ID

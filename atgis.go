@@ -142,6 +142,14 @@ type JoinSpec struct {
 	// order (the default). Engine.Join ignores it — the buffered join
 	// is globally sorted already.
 	OrderWindow int
+	// BoundsSafeMask declares that Mask depends only on a feature's ID,
+	// Offset and bounding box — never on coordinates beyond the bounds.
+	// Sidecar-enabled engines then rebuild the partition sets straight
+	// from the index tape (id, offset, bbox), skipping the partition
+	// pass over the raw bytes entirely. A mask that inspects real
+	// geometry (e.g. perimeter filters) must leave this false. A nil
+	// Mask is always bounds-safe.
+	BoundsSafeMask bool
 }
 
 // JoinResult carries the joined pairs and phase timings (Fig. 11).

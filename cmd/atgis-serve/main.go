@@ -82,6 +82,8 @@ func main() {
 		"cap on any client-requested timeout_ms; larger requests are clamped (0 = uncapped)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
 		"how long graceful shutdown waits for in-flight streams before cutting their connections")
+	sidecarFlag := flag.String("sidecar", "off",
+		"structural sidecar index (<path>.atgx): off | read | readwrite")
 	var sources sourceFlags
 	flag.Var(&sources, "source", "register a dataset at startup: name=path[:format] (repeatable)")
 	weights := weightFlags{}
@@ -89,12 +91,18 @@ func main() {
 		"tenant weight name=N (repeatable; absent tenants weigh 1): N× the admission round-robin share and N× the worker-pool share of concurrent passes")
 	flag.Parse()
 
+	sidecarMode, err := atgis.ParseSidecarMode(*sidecarFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	eng := atgis.NewEngine(atgis.EngineConfig{
 		Workers:       *workers,
 		BlockSize:     *blockSize,
 		MaxInFlight:   *maxInFlight,
 		TenantQueue:   *tenantQueue,
 		TenantWeights: weights,
+		Sidecar:       sidecarMode,
 	})
 	defer eng.Close()
 
@@ -142,7 +150,7 @@ func main() {
 	}()
 
 	log.Printf("atgis-serve listening on %s (workers=%d, max-inflight=%d)", *listen, *workers, *maxInFlight)
-	err := hs.ListenAndServe()
+	err = hs.ListenAndServe()
 	// Wait for Shutdown to drain in-flight requests before the deferred
 	// srv.Close()/eng.Close() unmap sources and stop the pool under
 	// them. stop() unblocks the goroutine when ListenAndServe failed on

@@ -57,6 +57,7 @@ func main() {
 	distName := flag.String("dist", "haversine", "spherical | haversine | andoyer")
 	filterMode := flag.String("filter", "streaming", "streaming | buffered")
 	show := flag.Int("show", 0, "stream and print the first N matches/pairs")
+	sidecarFlag := flag.String("sidecar", "off", "structural sidecar index: off | read | readwrite")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -74,7 +75,10 @@ func main() {
 	defer src.Close()
 	fmt.Printf("dataset: %s (%s, %.1f MB)\n", flag.Arg(0), src.DataFormat(), float64(len(src.Bytes()))/(1<<20))
 
-	eng := atgis.NewEngine(atgis.EngineConfig{Workers: *workers, BlockSize: *blockSize})
+	sidecarMode, err := atgis.ParseSidecarMode(*sidecarFlag)
+	fatal(err)
+
+	eng := atgis.NewEngine(atgis.EngineConfig{Workers: *workers, BlockSize: *blockSize, Sidecar: sidecarMode})
 	defer eng.Close()
 
 	opt := atgis.Options{Workers: *workers, BlockSize: *blockSize}
@@ -143,6 +147,9 @@ func main() {
 				return query.SideB
 			},
 			CellSize: *cell,
+			// The parity mask reads only f.ID, so a warm partition rebuild
+			// from the sidecar tape (boxes instead of full geometry) is safe.
+			BoundsSafeMask: true,
 		}
 		// Stream pairs: nothing buffers, duplicates are suppressed at the
 		// source by the reference-point test.

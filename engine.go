@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"atgis/internal/admission"
 	"atgis/internal/geojson"
@@ -14,6 +15,7 @@ import (
 	"atgis/internal/partition"
 	"atgis/internal/pipeline"
 	"atgis/internal/query"
+	"atgis/internal/sidecar"
 	"atgis/internal/wkt"
 )
 
@@ -52,6 +54,15 @@ type EngineConfig struct {
 	// other tenants by at most one quantum per worker before the
 	// scheduler reconsiders who is furthest behind.
 	TenantWeights map[string]int
+
+	// Sidecar controls use of persistent per-source structural indexes
+	// (`<path>.atgx` next to each mapped file): SidecarOff (default)
+	// ignores them, SidecarRead uses a valid existing sidecar to run
+	// warm passes, SidecarReadWrite additionally records the tape
+	// during the first successful cold pass and persists it. Sidecars
+	// only apply to OpenMapped sources; a missing, stale or corrupt
+	// sidecar always degrades to a cold pass.
+	Sidecar SidecarMode
 }
 
 // defaultTenantQueue is the per-tenant queue cap when admission is
@@ -115,6 +126,7 @@ type Engine struct {
 	pool      *pipeline.Pool
 	gate      *admission.Gate // nil = no admission control
 	weights   map[string]int  // tenant → pool-scheduling weight
+	sidecar   SidecarMode
 	closed    atomic.Bool
 }
 
@@ -122,7 +134,7 @@ type Engine struct {
 // cfg.MaxInFlight is positive, an admission gate in front of query
 // execution.
 func NewEngine(cfg EngineConfig) *Engine {
-	e := &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPool(cfg.Workers)}
+	e := &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPool(cfg.Workers), sidecar: cfg.Sidecar}
 	if len(cfg.TenantWeights) > 0 {
 		// Private copy: the gate and the pool scheduler read these on
 		// every pass, and the caller's map must stay free to mutate
@@ -669,7 +681,38 @@ func (e *Engine) joinPartitionPhase(ctx context.Context, src Source, spec *JoinS
 	}
 	merged := query.NewPartitionSink(grid, spec.Store, mask)
 
+	// Sidecar: with a validated index and a bounds-safe mask, the whole
+	// partition pass collapses to a linear walk over the recorded
+	// (id, offset, bbox) tape — no bytes are read. Otherwise a cold
+	// pass may record the tape for next time (GeoJSON and OSM feed the
+	// recorder from their single-threaded folds; the WKT partition pass
+	// bins features inside parallel workers, so WKT tapes are recorded
+	// by query passes only).
+	ms, ix := e.sidecarFor(src)
+	boundsSafe := spec.BoundsSafeMask || spec.Mask == nil
+	if ms != nil && ix != nil && boundsSafe {
+		ms.sc.hits.Add(1)
+		t0 := time.Now()
+		warmJoinPartition(ix, merged)
+		st := pipeline.Stats{
+			Bytes:    int64(len(src.Bytes())),
+			Workers:  1,
+			WallTime: time.Since(t0),
+		}
+		return merged, extent, st, nil
+	}
+	var rec *sidecar.Builder
+	if ms != nil && ix == nil {
+		ms.sc.misses.Add(1)
+		if e.sidecar == SidecarReadWrite && src.DataFormat() != WKT {
+			rec = ms.beginSidecarRecord()
+		}
+	}
+
 	processFeature := func(fr *fragOf, f *geom.Feature) {
+		if rec != nil {
+			rec.Add(f.Offset, f.ID, featBox(f.Geom))
+		}
 		if spec.SeparatePartitionPhase {
 			fr.feats = append(fr.feats, geom.Feature{
 				ID: f.ID, Offset: f.Offset,
@@ -704,6 +747,13 @@ func (e *Engine) joinPartitionPhase(ctx context.Context, src Source, spec *JoinS
 	})
 	if err == nil {
 		err = firstErr
+	}
+	if rec != nil {
+		if err != nil {
+			ms.abortSidecarRecord()
+		} else {
+			ms.finishSidecarRecord(rec)
+		}
 	}
 	if err != nil {
 		return nil, extent, stats, err

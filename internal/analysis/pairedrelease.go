@@ -80,6 +80,15 @@ var acquireSpecs = []acquireSpec{
 	{call: "AcquireSpeculator", result: 0, errResult: -1,
 		releaseFuncs: []string{"ReleaseSpeculator"},
 		what:         "pooled lexer speculator"},
+	// The sidecar file lifecycle: Load's read handle and Write's temp
+	// file must close on every path — a leaked temp handle also means
+	// the atomic-rename protocol left litter next to the source.
+	{call: "Open", recvHint: "os", result: 0, errResult: 1,
+		releaseMethods: []string{"Close"},
+		what:           "file handle (os.Open)"},
+	{call: "CreateTemp", recvHint: "os", result: 0, errResult: 1,
+		releaseMethods: []string{"Close"},
+		what:           "temp file handle (os.CreateTemp; close before rename, remove on failure)"},
 }
 
 // matchSpec returns the protocol call matches, if any. The qualifier

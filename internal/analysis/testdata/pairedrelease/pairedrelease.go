@@ -8,6 +8,7 @@ import (
 	"compress/gzip"
 	"errors"
 	"io"
+	"os"
 )
 
 // Gate doubles for admission.Gate.
@@ -113,6 +114,58 @@ func badGzip(w io.Writer) error {
 	zw := gzip.NewWriter(w) // want `gzip writer .* never released`
 	_, err := zw.Write([]byte("payload"))
 	return err
+}
+
+// goodTempFile follows the sidecar's atomic-write shape: the temp
+// handle closes (and the file is removed) on every path, including a
+// panic recovered in the deferred closure.
+func goodTempFile(dir string) (err error) {
+	var tmp *os.File
+	defer func() {
+		if err != nil && tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	tmp, err = os.CreateTemp(dir, "x.tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err = tmp.Write([]byte("payload")); err != nil {
+		return err
+	}
+	return tmp.Close()
+}
+
+func badTempFile(dir string) error {
+	tmp, err := os.CreateTemp(dir, "x.tmp*") // want `temp file handle .* never released`
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write([]byte("payload"))
+	return err
+}
+
+func goodOpen(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [16]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+func badOpenEarlyReturn(path string, fail bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("leaked") // want `return leaks file handle`
+	}
+	return f.Close()
 }
 
 func approvedLeak(g *Gate) bool {

@@ -173,4 +173,17 @@ func TestFaultSiteDrift(t *testing.T) {
 	diff("the faultinject.go doc list", doc, "code", code)
 	diff("code", code, "docs/OPERATIONS.md", ops)
 	diff("docs/OPERATIONS.md", ops, "code", code)
+
+	// The chaos suite arms these sites by name; losing one (a rename, a
+	// refactor dropping the Fire call) would silently skip the fault
+	// paths those tests exist to exercise.
+	for _, required := range []string{
+		"pipeline.block", "pipeline.split", "pipeline.merge",
+		"join.batch", "admission.acquire",
+		"sidecar.load", "sidecar.write",
+	} {
+		if !code[required] {
+			t.Errorf("required fault site %q has no faultinject.Fire call site", required)
+		}
+	}
 }

@@ -24,6 +24,8 @@
 //	pipeline.merge     one per folded block (index = block)
 //	join.batch         one per join cell-batch task (index = batch)
 //	admission.acquire  one per admission Acquire (index = 0)
+//	sidecar.load       one per sidecar index read (label = source file)
+//	sidecar.write      one per sidecar persist attempt (label = source file)
 //
 // Every Fire carries the pass label (the tenant on engine-owned pools),
 // so a hook can poison one tenant's passes while other tenants proceed —

@@ -215,6 +215,23 @@ func (fd *PATFold) Add(br PATBlockResult) {
 	fd.seqMode = !fd.seqClean()
 }
 
+// Skip advances the fold past [resume, end) without parsing. The warm
+// sidecar path uses it for byte ranges whose features are all proven
+// irrelevant to the query window, so no machine ever sees them. It
+// reports false when a repair is in progress — the sequential machine
+// would have to parse the skipped bytes to stay consistent, so the
+// caller must abandon the warm pass instead of silently emitting
+// pruned features.
+func (fd *PATFold) Skip(end int64) bool {
+	if fd.seqMode {
+		return false
+	}
+	if end > fd.resume {
+		fd.resume = end
+	}
+	return true
+}
+
 // Finish completes the fold, consuming any trailing input after the last
 // block.
 func (fd *PATFold) Finish(end int64) error {

@@ -198,11 +198,15 @@ type sourceInfo struct {
 	// successful pass restores health.
 	Healthy bool         `json:"healthy"`
 	Fault   *sourceFault `json:"fault,omitempty"`
+	// Sidecar reports the source's persistent-index state (hits,
+	// misses, staleness rejections); present only when the engine runs
+	// with a sidecar mode other than off and the source is mapped.
+	Sidecar *atgis.SidecarStats `json:"sidecar,omitempty"`
 }
 
-func (e *sourceEntry) info() sourceInfo {
+func (e *sourceEntry) info(sidecarMode atgis.SidecarMode) sourceInfo {
 	f := e.fault.Load()
-	return sourceInfo{
+	si := sourceInfo{
 		Name:    e.name,
 		Path:    e.path,
 		Format:  e.src.DataFormat().String(),
@@ -211,6 +215,13 @@ func (e *sourceEntry) info() sourceInfo {
 		Healthy: f == nil,
 		Fault:   f,
 	}
+	if sidecarMode != atgis.SidecarOff {
+		if ms, ok := e.src.(*atgis.MappedSource); ok {
+			st := ms.SidecarStats()
+			si.Sidecar = &st
+		}
+	}
+	return si
 }
 
 // statsResponse is the GET /v1/stats payload.
@@ -228,7 +239,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	for name, e := range s.sources {
-		resp.Sources[name] = e.info()
+		resp.Sources[name] = e.info(s.eng.SidecarMode())
 	}
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -239,7 +250,7 @@ func (s *Server) handleListSources(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	infos := make([]sourceInfo, 0, len(s.sources))
 	for _, e := range s.sources {
-		infos = append(infos, e.info())
+		infos = append(infos, e.info(s.eng.SidecarMode()))
 	}
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -278,7 +289,7 @@ func (s *Server) handleRegisterSource(w http.ResponseWriter, r *http.Request) {
 	e, _ := s.source(req.Name)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(e.info())
+	json.NewEncoder(w).Encode(e.info(s.eng.SidecarMode()))
 }
 
 // queryRequest is the POST /v1/query body.
@@ -825,7 +836,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, "timeout_ms must be >= 0")
 		return
 	}
-	spec := atgis.JoinSpec{CellSize: req.Cell, OrderWindow: req.OrderWindow}
+	// Both wire masks split purely by feature ID, so sidecar-enabled
+	// engines may rebuild the partition sets from the index tape.
+	spec := atgis.JoinSpec{CellSize: req.Cell, OrderWindow: req.OrderWindow, BoundsSafeMask: true}
 	selfJoin := false
 	switch req.Mask {
 	case "", "parity":

@@ -2,11 +2,13 @@ package atgis
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"atgis/internal/geojson"
 	"atgis/internal/geom"
 	"atgis/internal/query"
+	"atgis/internal/sidecar"
 )
 
 // PreparedQuery is a single-pass query (containment or aggregation)
@@ -110,15 +112,92 @@ func (p *PreparedQuery) run(ctx context.Context, src Source, onFeature func(*geo
 			onFeature(f, v)
 		}
 	}
-	switch src.DataFormat() {
-	case GeoJSON:
-		out.Stats, out.Repaired, out.Reprocessed, err = p.engine.runGeoJSONWith(ctx, data, p.cfg, p.opt, sink)
-	case WKT:
-		out.Stats, err = p.engine.runWKT(ctx, data, p.opt, consume)
-	case OSMXML:
-		out.Stats, err = p.engine.runOSM(ctx, data, p.opt, consume)
-	default:
-		err = fmt.Errorf("atgis: unsupported format %v", src.DataFormat())
+	format := src.DataFormat()
+	runCold := func() error {
+		var err error
+		switch format {
+		case GeoJSON:
+			out.Stats, out.Repaired, out.Reprocessed, err = p.engine.runGeoJSONWith(ctx, data, p.cfg, p.opt, sink)
+		case WKT:
+			out.Stats, err = p.engine.runWKT(ctx, data, p.opt, consume)
+		case OSMXML:
+			out.Stats, err = p.engine.runOSM(ctx, data, p.opt, consume)
+		default:
+			err = fmt.Errorf("atgis: unsupported format %v", format)
+		}
+		return err
+	}
+
+	// Sidecar fast path: a mapped source on a sidecar-enabled engine
+	// runs warm when a validated index exists — the boundary scan is
+	// skipped and byte ranges whose features provably miss the query
+	// window are never parsed, with the pruned features folded into
+	// Scanned so the summary is identical to a cold pass. OSM XML has
+	// no warm query path (its point data needs the node table, which
+	// only a full pass builds); its sidecar still serves joins.
+	ms, ix := p.engine.sidecarFor(src)
+	if ms != nil && ix != nil && format != OSMXML {
+		ms.sc.hits.Add(1)
+		var pruned int64
+		switch format {
+		case GeoJSON:
+			out.Stats, pruned, out.Repaired, err = p.engine.runGeoJSONWarm(ctx, data, ix, p.cfg, p.opt, spec, sink)
+		case WKT:
+			out.Stats, pruned, err = p.engine.runWKTWarm(ctx, data, ix, p.opt, spec, consume)
+		}
+		if errors.Is(err, errWarmAbort) {
+			// The tape disagreed with the bytes mid-pass (load-time
+			// validation makes this near-impossible). Reject the sidecar
+			// for all future passes; an aggregate-only pass can simply
+			// rerun cold, a streaming pass has already emitted features
+			// and must surface the error instead.
+			ms.rejectSidecar(err)
+			if onFeature != nil {
+				return nil, err
+			}
+			out.Res = query.NewResult()
+			err = runCold()
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Res.Scanned += pruned
+		return out, nil
+	}
+
+	// Cold pass, recording the structural tape when this engine may
+	// write sidecars and no other pass holds the recorder. The recorder
+	// is fed from the merge fold (single-threaded, consume order) and
+	// is only persisted after the pass completes successfully.
+	var rec *sidecar.Builder
+	if ms != nil && ix == nil {
+		ms.sc.misses.Add(1)
+		if p.engine.sidecar == SidecarReadWrite {
+			rec = ms.beginSidecarRecord()
+		}
+	}
+	if rec != nil {
+		innerSink, innerConsume := sink, consume
+		sink = func(f geojson.FeatureOut) {
+			rec.Add(f.Feature.Offset, f.Feature.ID, featBox(f.Feature.Geom))
+			innerSink(f)
+		}
+		consume = func(f *geom.Feature) {
+			rec.Add(f.Offset, f.ID, featBox(f.Geom))
+			innerConsume(f)
+		}
+	}
+	err = runCold()
+	if rec != nil {
+		if err != nil {
+			ms.abortSidecarRecord()
+		} else {
+			ms.finishSidecarRecord(rec)
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,376 @@
+package atgis
+
+// Differential correctness harness for the persistent sidecar index:
+// every query mode and both join flavours run cold (SidecarOff), warm
+// (index recorded, then served from memory and from disk) and against
+// deliberately stale sidecars (bit-flipped, truncated, source mtime
+// bumped). The rendered output — NDJSON record lines plus the
+// result-bearing summary fields — must be byte-identical in every
+// configuration.
+//
+// The rendering deliberately covers only result-bearing state: Count,
+// Scanned, the aggregate sums (compared as exact IEEE-754 bit
+// patterns — the warm pass absorbs matched features in the same input
+// order as a cold pass, so even float accumulation must agree
+// bit-for-bit), the MBR, the buffered match list, streamed records and
+// join pairs. Execution statistics (wall time, MB/s, block and worker
+// counts, repair counters) are volatile by nature and excluded.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"atgis/internal/geom"
+	"atgis/internal/query"
+	"atgis/internal/sidecar"
+	"atgis/internal/synth"
+)
+
+// writeSidecarCorpus writes a deterministic synthetic dataset in the
+// given format and returns its path (inside a per-test temp dir, so
+// `.atgx` siblings are cleaned up with it).
+func writeSidecarCorpus(t *testing.T, format Format) string {
+	t.Helper()
+	dir := t.TempDir()
+	var name string
+	switch format {
+	case GeoJSON:
+		name = "corpus.geojson"
+	case WKT:
+		name = "corpus.wkt"
+	case OSMXML:
+		name = "corpus.osm"
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := synth.New(synth.Config{Seed: 20160626, N: 400, MultiPolyFrac: 0.15, LineFrac: 0.15, MetadataBytes: 40})
+	switch format {
+	case GeoJSON:
+		err = g.WriteGeoJSON(f)
+	case WKT:
+		err = g.WriteWKT(f)
+	case OSMXML:
+		err = g.WriteOSMXML(f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f.Name()
+}
+
+func bits(f float64) string { return fmt.Sprintf("%016x", math.Float64bits(f)) }
+
+func renderBox(b geom.Box) string {
+	return bits(b.MinX) + "," + bits(b.MinY) + "," + bits(b.MaxX) + "," + bits(b.MaxY)
+}
+
+// renderQueryResult renders the result-bearing fields of a query run.
+func renderQueryResult(r *Result) string {
+	var b strings.Builder
+	res := r.Res
+	fmt.Fprintf(&b, "count=%d scanned=%d area=%s perim=%s mbr=%s\n",
+		res.Count, res.Scanned, bits(res.SumArea), bits(res.SumPerimeter), renderBox(res.MBR))
+	for _, m := range res.Matches {
+		fmt.Fprintf(&b, "match id=%d off=%d box=%s\n", m.ID, m.Offset, renderBox(m.Box))
+	}
+	return b.String()
+}
+
+// diffRecord is one NDJSON line of a streamed query: the match identity
+// plus its per-feature aggregate contributions as exact bit patterns.
+type diffRecord struct {
+	ID    int64  `json:"id"`
+	Off   int64  `json:"offset"`
+	Area  string `json:"area_bits"`
+	Perim string `json:"perimeter_bits"`
+}
+
+// sidecarDiffCase runs one query or join flavour and renders its full
+// observable output as a comparable string.
+type sidecarDiffCase struct {
+	name string
+	run  func(t *testing.T, eng *Engine, src Source) string
+}
+
+func diffSpec(pred query.Predicate, scale float64, keep bool) *query.Spec {
+	kind := query.Aggregation
+	if keep {
+		kind = query.Containment
+	}
+	return &query.Spec{
+		Kind:     kind,
+		Ref:      query.ScaleBox(synth.Extent, scale).AsPolygon(),
+		Pred:     pred,
+		Dist:     geom.Haversine,
+		WantArea: true, WantPerimeter: true, WantMBR: true,
+		KeepMatches: keep,
+	}
+}
+
+func queryCase(name string, spec *query.Spec, mode Mode) sidecarDiffCase {
+	return sidecarDiffCase{name: name, run: func(t *testing.T, eng *Engine, src Source) string {
+		t.Helper()
+		res, err := eng.Query(context.Background(), src, spec, Options{Mode: mode, Workers: 4, BlockSize: 8 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return renderQueryResult(res)
+	}}
+}
+
+func streamCase(name string, spec *query.Spec, mode Mode) sidecarDiffCase {
+	return sidecarDiffCase{name: name, run: func(t *testing.T, eng *Engine, src Source) string {
+		t.Helper()
+		pq, err := eng.Prepare(spec, Options{Mode: mode, Workers: 4, BlockSize: 8 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var b strings.Builder
+		res := pq.Stream(context.Background(), src)
+		for res.Next() {
+			f, v := res.Feature(), res.Value()
+			line, err := json.Marshal(diffRecord{ID: f.ID, Off: f.Offset, Area: bits(v.Area), Perim: bits(v.Perimeter)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+		sum, err := res.Summary()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b.WriteString(renderQueryResult(sum))
+		return b.String()
+	}}
+}
+
+func paritySideMask(f *geom.Feature) uint8 {
+	if f.ID%2 == 0 {
+		return query.SideA
+	}
+	return query.SideB
+}
+
+func joinCase(name string) sidecarDiffCase {
+	return sidecarDiffCase{name: name, run: func(t *testing.T, eng *Engine, src Source) string {
+		t.Helper()
+		spec := JoinSpec{Mask: paritySideMask, CellSize: 10, BoundsSafeMask: true}
+		jr, err := eng.Join(context.Background(), src, spec, Options{Workers: 4, BlockSize: 8 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var pairs []struct{ a, b int64 }
+		for _, p := range jr.Pairs {
+			pairs = append(pairs, struct{ a, b int64 }{p.AOff, p.BOff})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].a != pairs[j].a {
+				return pairs[i].a < pairs[j].a
+			}
+			return pairs[i].b < pairs[j].b
+		})
+		var b strings.Builder
+		fmt.Fprintf(&b, "pairs=%d candidates=%d duplicates=%d\n",
+			len(jr.Pairs), jr.JoinStats.Candidates, jr.JoinStats.Duplicates)
+		for _, p := range pairs {
+			fmt.Fprintf(&b, "pair a=%d b=%d\n", p.a, p.b)
+		}
+		return b.String()
+	}}
+}
+
+// orderedJoinCase streams with OrderWindow: the emission sequence
+// itself is deterministic, so it is compared verbatim — the strongest
+// form of the warm/cold equivalence claim.
+func orderedJoinCase(name string) sidecarDiffCase {
+	return sidecarDiffCase{name: name, run: func(t *testing.T, eng *Engine, src Source) string {
+		t.Helper()
+		spec := JoinSpec{Mask: func(*geom.Feature) uint8 { return query.SideA | query.SideB },
+			CellSize: 5, BatchCells: 2, OrderWindow: 16, BoundsSafeMask: true}
+		stream := eng.JoinStream(context.Background(), src, spec, Options{Workers: 4, BlockSize: 8 << 10})
+		var b strings.Builder
+		for stream.Next() {
+			p := stream.Pair()
+			line, err := json.Marshal(struct {
+				AID  int64 `json:"a_id"`
+				BID  int64 `json:"b_id"`
+				AOff int64 `json:"a_off"`
+				BOff int64 `json:"b_off"`
+			}{p.AID, p.BID, p.AOff, p.BOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+		sum, err := stream.Summary()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(&b, "candidates=%d duplicates=%d\n", sum.JoinStats.Candidates, sum.JoinStats.Duplicates)
+		return b.String()
+	}}
+}
+
+func sidecarDiffCases() []sidecarDiffCase {
+	return []sidecarDiffCase{
+		// Selective window: most features prune on a warm pass.
+		queryCase("agg-pat-intersects", diffSpec(query.PredIntersects, 0.2, false), PAT),
+		queryCase("agg-fat-intersects", diffSpec(query.PredIntersects, 0.2, false), FAT),
+		queryCase("agg-within", diffSpec(query.PredWithin, 0.35, false), PAT),
+		// Disjoint inverts the MBR prefilter: the warm pass may not prune
+		// and must scan everything.
+		queryCase("agg-disjoint", diffSpec(query.PredDisjoint, 0.2, false), PAT),
+		queryCase("contain-buffered", diffSpec(query.PredIntersects, 0.25, true), PAT),
+		streamCase("contain-stream-pat", diffSpec(query.PredIntersects, 0.25, false), PAT),
+		streamCase("contain-stream-fat", diffSpec(query.PredIntersects, 0.25, false), FAT),
+		joinCase("join-buffered"),
+		orderedJoinCase("join-ordered-stream"),
+	}
+}
+
+// runAllCases executes the full matrix against (eng, src) and returns
+// the rendered output per case name.
+func runAllCases(t *testing.T, eng *Engine, src Source) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, c := range sidecarDiffCases() {
+		out[c.name] = c.run(t, eng, src)
+	}
+	return out
+}
+
+func compareCases(t *testing.T, scenario string, got, want map[string]string) {
+	t.Helper()
+	for name, w := range want {
+		g := got[name]
+		if g != w {
+			t.Errorf("%s: case %s diverged from cold reference\ncold:\n%s\ngot:\n%s", scenario, name, w, g)
+		}
+	}
+}
+
+func mustOpen(t *testing.T, path string) *MappedSource {
+	t.Helper()
+	src, err := OpenMapped(path, AutoDetect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
+func TestSidecarDifferential(t *testing.T) {
+	for _, format := range []Format{GeoJSON, WKT, OSMXML} {
+		format := format
+		t.Run(format.String(), func(t *testing.T) {
+			path := writeSidecarCorpus(t, format)
+
+			coldEng := NewEngine(EngineConfig{Workers: 4})
+			defer coldEng.Close()
+			cold := runAllCases(t, coldEng, mustOpen(t, path))
+
+			// First pass on a readwrite engine records the tape; later
+			// cases on the same mapping already run warm.
+			rwEng := NewEngine(EngineConfig{Workers: 4, Sidecar: SidecarReadWrite})
+			defer rwEng.Close()
+			rwSrc := mustOpen(t, path)
+			compareCases(t, "readwrite first run", runAllCases(t, rwEng, rwSrc), cold)
+			st := rwSrc.SidecarStats()
+			if !st.Built || st.State != "active" {
+				t.Fatalf("sidecar not recorded on the readwrite engine: %+v", st)
+			}
+			if st.WriteError != "" {
+				t.Fatalf("sidecar persist failed: %s", st.WriteError)
+			}
+			if _, err := os.Stat(sidecar.PathFor(path)); err != nil {
+				t.Fatalf("no .atgx on disk after a readwrite pass: %v", err)
+			}
+
+			// Second run over the same mapping: everything eligible is warm.
+			compareCases(t, "readwrite warm run", runAllCases(t, rwEng, rwSrc), cold)
+			if st := rwSrc.SidecarStats(); st.Hits == 0 {
+				t.Fatalf("no warm hits on the second readwrite run: %+v", st)
+			}
+
+			// Fresh mapping on a read-only engine: served from disk.
+			roEng := NewEngine(EngineConfig{Workers: 4, Sidecar: SidecarRead})
+			defer roEng.Close()
+			roSrc := mustOpen(t, path)
+			compareCases(t, "read-only warm run", runAllCases(t, roEng, roSrc), cold)
+			st = roSrc.SidecarStats()
+			if st.State != "active" || st.Hits == 0 || st.Built {
+				t.Fatalf("read-only engine did not serve from the on-disk sidecar: %+v", st)
+			}
+
+			// Stale scenarios: each one gets a fresh mapping (validation is
+			// cached per mapping) on a read-only engine, must silently fall
+			// back to a cold pass, and must never trust the sidecar.
+			scPath := sidecar.PathFor(path)
+			goodSidecar, err := os.ReadFile(scPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (a) Source mtime bumped, bytes unchanged: cheap-to-detect
+			// staleness — rejected on mtime alone.
+			future := time.Now().Add(2 * time.Second)
+			if err := os.Chtimes(path, future, future); err != nil {
+				t.Fatal(err)
+			}
+			staleSrc := mustOpen(t, path)
+			compareCases(t, "stale mtime", runAllCases(t, roEng, staleSrc), cold)
+			if st := staleSrc.SidecarStats(); st.State != "rejected" || st.Hits != 0 || st.LoadError == "" {
+				t.Fatalf("mtime-stale sidecar was not rejected: %+v", st)
+			}
+
+			// (b) Bit flip in the middle of the sidecar payload.
+			flipped := append([]byte(nil), goodSidecar...)
+			flipped[len(flipped)/2] ^= 0x40
+			if err := os.WriteFile(scPath, flipped, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			flipSrc := mustOpen(t, path)
+			compareCases(t, "bit-flipped sidecar", runAllCases(t, roEng, flipSrc), cold)
+			if st := flipSrc.SidecarStats(); st.State != "rejected" || st.Hits != 0 {
+				t.Fatalf("bit-flipped sidecar was not rejected: %+v", st)
+			}
+
+			// (c) Truncated sidecar.
+			if err := os.WriteFile(scPath, goodSidecar[:len(goodSidecar)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			truncSrc := mustOpen(t, path)
+			compareCases(t, "truncated sidecar", runAllCases(t, roEng, truncSrc), cold)
+			if st := truncSrc.SidecarStats(); st.State != "rejected" || st.Hits != 0 {
+				t.Fatalf("truncated sidecar was not rejected: %+v", st)
+			}
+
+			// A readwrite engine facing the corrupt file rebuilds it; a
+			// later read-only mapping then loads the rebuilt index.
+			rebuildSrc := mustOpen(t, path)
+			compareCases(t, "rebuild over corrupt", runAllCases(t, rwEng, rebuildSrc), cold)
+			if st := rebuildSrc.SidecarStats(); !st.Built || st.State != "active" {
+				t.Fatalf("corrupt sidecar was not rebuilt: %+v", st)
+			}
+			verifySrc := mustOpen(t, path)
+			compareCases(t, "warm after rebuild", runAllCases(t, roEng, verifySrc), cold)
+			if st := verifySrc.SidecarStats(); st.State != "active" || st.Hits == 0 {
+				t.Fatalf("rebuilt sidecar did not serve a warm pass: %+v", st)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package atgis
+
+import (
+	"context"
+
+	"atgis/internal/geojson"
+	"atgis/internal/geom"
+	"atgis/internal/pipeline"
+	"atgis/internal/query"
+	"atgis/internal/sidecar"
+	"atgis/internal/wkt"
+)
+
+// Warm single-pass execution: the sidecar tape replaces the boundary
+// scan, and the query window prunes whole byte ranges before any
+// parsing. The plan is a contiguous sequence of blocks covering the
+// input — the document header, live runs of surviving features
+// (sub-split at the block size so parallelism matches a cold pass),
+// and gaps whose features all miss the window. Live blocks parse
+// exactly as cold PAT blocks do; gaps are skipped unparsed and their
+// features counted as scanned-but-unmatched, which is precisely what
+// a cold pass would have concluded about them (Evaluator.match
+// rejects any candidate whose MBR misses the reference MBR, for every
+// predicate the planner prunes under).
+
+// warmBlockKind labels the role of one planned block.
+type warmBlockKind uint8
+
+const (
+	warmHeader warmBlockKind = iota // document wrapper, fed to fold.Header
+	warmLive                        // parse: features here may match
+	warmGap                         // skip: every feature here is pruned
+)
+
+// warmBlock is one planned block; blocks are contiguous from 0 to the
+// input length, so the pipeline's Block.Index indexes the plan.
+type warmBlock struct {
+	start, end int64
+	kind       warmBlockKind
+}
+
+// warmPlan builds the block plan from the tape and the survivor marks.
+// headerEnd > 0 reserves [0, headerEnd) as the header block (GeoJSON
+// wrapper); runs of surviving features become live blocks cut at
+// feature boundaries every ~blockSize bytes; everything else is a gap.
+func warmPlan(offs []int64, keep []bool, headerEnd, total int64, blockSize int) []warmBlock {
+	var plan []warmBlock
+	pos := int64(0)
+	if headerEnd > 0 {
+		plan = append(plan, warmBlock{0, headerEnd, warmHeader})
+		pos = headerEnd
+	}
+	n := len(offs)
+	i := 0
+	for i < n {
+		if !keep[i] {
+			j := i
+			for j < n && !keep[j] {
+				j++
+			}
+			end := total
+			if j < n {
+				end = offs[j]
+			}
+			if end > pos {
+				plan = append(plan, warmBlock{pos, end, warmGap})
+				pos = end
+			}
+			i = j
+			continue
+		}
+		if offs[i] > pos {
+			// Bytes between the previous block and this run (leading
+			// blank lines, inter-feature separators) carry no features.
+			plan = append(plan, warmBlock{pos, offs[i], warmGap})
+			pos = offs[i]
+		}
+		runStart := offs[i]
+		j := i + 1
+		for j < n && keep[j] && offs[j]-runStart < int64(blockSize) {
+			j++
+		}
+		end := total
+		if j < n {
+			end = offs[j]
+		}
+		plan = append(plan, warmBlock{runStart, end, warmLive})
+		pos = end
+		i = j
+	}
+	if pos < total {
+		plan = append(plan, warmBlock{pos, total, warmGap})
+	}
+	return plan
+}
+
+// warmSplitter yields the plan's interior cuts; the pipeline then
+// forms exactly the planned blocks, with Block.Index matching the
+// plan index.
+func warmSplitter(plan []warmBlock) pipeline.StreamSplitterFunc {
+	return func(_ []byte, yield func(int64) bool) {
+		for _, wb := range plan[1:] {
+			if !yield(wb.start) {
+				return
+			}
+		}
+	}
+}
+
+// survivors marks the features whose bbox may satisfy the spec. When
+// the spec does not admit pruning every feature survives (the warm
+// pass still skips the boundary scan).
+func survivors(ix *sidecar.Index, spec *query.Spec, keep []bool) (live int) {
+	if win, ok := pruneWindow(spec); ok {
+		ix.Prune(win, keep)
+	} else {
+		for i := range keep {
+			keep[i] = true
+		}
+	}
+	for _, k := range keep {
+		if k {
+			live++
+		}
+	}
+	return live
+}
+
+// runGeoJSONWarm executes a prepared GeoJSON query from the sidecar.
+// Returns the pruned-feature count to fold into Result.Scanned.
+func (e *Engine) runGeoJSONWarm(ctx context.Context, data []byte, ix *sidecar.Index, cfg *geojson.Config, opt Options, spec *query.Spec, sink func(geojson.FeatureOut)) (pipeline.Stats, int64, int, error) {
+	n := ix.N()
+	keep := make([]bool, n)
+	live := survivors(ix, spec, keep)
+	pruned := int64(n - live)
+	if live == 0 {
+		// Nothing can match: no parsing at all, not even the wrapper (a
+		// cold pass proved the document well-formed when the tape was
+		// recorded).
+		return pipeline.Stats{Bytes: int64(len(data)), Workers: opt.workers()}, pruned, 0, nil
+	}
+	plan := warmPlan(ix.Offs, keep, ix.HeaderEnd, int64(len(data)), opt.blockSize())
+	fold := geojson.NewPATFold(data, cfg, sink)
+	lastLive := ix.HeaderEnd
+	warmOK := true
+	headerDone := false
+	st, err := pipeline.RunCtx(ctx, data,
+		warmSplitter(plan),
+		e.exec(ctx, opt),
+		func(b pipeline.Block) *geojson.PATBlockResult {
+			if plan[b.Index].kind != warmLive {
+				return nil
+			}
+			r := geojson.ProcessBlockPAT(data, b.Start, b.End, cfg)
+			return &r
+		},
+		func(b pipeline.Block, r *geojson.PATBlockResult) {
+			switch plan[b.Index].kind {
+			case warmHeader:
+				fold.Header(b.End)
+				headerDone = true
+			case warmGap:
+				if !headerDone {
+					fold.Header(0)
+					headerDone = true
+				}
+				if !fold.Skip(b.End) {
+					warmOK = false
+				}
+			default:
+				if !headerDone {
+					fold.Header(0)
+					headerDone = true
+				}
+				fold.Add(*r)
+				lastLive = b.End
+			}
+		},
+	)
+	if err != nil {
+		return st, pruned, fold.Repaired, err
+	}
+	if !warmOK {
+		return st, pruned, fold.Repaired, errWarmAbort
+	}
+	// Finish at the last live block: a pruned tail must not be
+	// sequentially parsed back in.
+	return st, pruned, fold.Repaired, fold.Finish(lastLive)
+}
+
+// runWKTWarm executes a prepared WKT query from the sidecar: live
+// blocks parse their lines exactly as cold blocks do, gaps are never
+// touched.
+func (e *Engine) runWKTWarm(ctx context.Context, data []byte, ix *sidecar.Index, opt Options, spec *query.Spec, consume func(*geom.Feature)) (pipeline.Stats, int64, error) {
+	n := ix.N()
+	keep := make([]bool, n)
+	live := survivors(ix, spec, keep)
+	pruned := int64(n - live)
+	if live == 0 {
+		return pipeline.Stats{Bytes: int64(len(data)), Workers: opt.workers()}, pruned, nil
+	}
+	plan := warmPlan(ix.Offs, keep, 0, int64(len(data)), opt.blockSize())
+	type frag struct {
+		feats []geom.Feature
+		err   error
+	}
+	var firstErr error
+	st, err := pipeline.RunCtx(ctx, data,
+		warmSplitter(plan),
+		e.exec(ctx, opt),
+		func(b pipeline.Block) frag {
+			var fr frag
+			if plan[b.Index].kind != warmLive {
+				return fr
+			}
+			fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {
+				f, err := wkt.ParseLine(line, off)
+				if err != nil {
+					return err
+				}
+				fr.feats = append(fr.feats, f)
+				return nil
+			})
+			return fr
+		},
+		func(b pipeline.Block, fr frag) {
+			if fr.err != nil && firstErr == nil {
+				firstErr = fr.err
+			}
+			for i := range fr.feats {
+				consume(&fr.feats[i])
+			}
+		},
+	)
+	if err != nil {
+		return st, pruned, err
+	}
+	return st, pruned, firstErr
+}

@@ -182,6 +182,11 @@ type MappedSource struct {
 	path   string
 	unmap  func() error
 	closed atomic.Bool
+
+	// sc holds the per-mapping sidecar-index state (lazy-loaded index,
+	// rejection reasons, hit/miss counters). It is only touched when a
+	// sidecar-enabled Engine runs passes over this source.
+	sc sidecarState
 }
 
 // OpenMapped maps the file at path read-only and detects its format

@@ -142,6 +142,15 @@ type JoinSpec struct {
 	// order (the default). Engine.Join ignores it — the buffered join
 	// is globally sorted already.
 	OrderWindow int
+	// CellLo / CellHi restrict the join sweep to the partition-grid cell
+	// band [CellLo, CellHi) — the join's horizontal-sharding unit used by
+	// atgis-serve's cluster mode. The reference-point dedup makes each
+	// result pair owned by exactly one cell, so bands that tile the grid
+	// partition the pair set exactly (and ordered bands concatenate into
+	// full-sweep cell order). CellHi zero means the whole grid. The
+	// partition phase still scans the full input: sharding saves sweep
+	// work, not parsing.
+	CellLo, CellHi int
 	// BoundsSafeMask declares that Mask depends only on a feature's ID,
 	// Offset and bounding box — never on coordinates beyond the bounds.
 	// Sidecar-enabled engines then rebuild the partition sets straight

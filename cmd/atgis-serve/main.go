@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"atgis"
+	"atgis/internal/cluster"
 	"atgis/internal/server"
 )
 
@@ -39,6 +40,20 @@ func (s *sourceFlags) Set(v string) error {
 		return fmt.Errorf("-source wants name=path[:format], got %q", v)
 	}
 	*s = append(*s, v)
+	return nil
+}
+
+// workerFlags collects repeated -worker url arguments (coordinator
+// mode's worker set).
+type workerFlags []string
+
+func (w *workerFlags) String() string { return strings.Join(*w, ",") }
+
+func (w *workerFlags) Set(v string) error {
+	if !strings.HasPrefix(v, "http://") && !strings.HasPrefix(v, "https://") {
+		return fmt.Errorf("-worker wants a base URL like http://host:port, got %q", v)
+	}
+	*w = append(*w, v)
 	return nil
 }
 
@@ -84,6 +99,12 @@ func main() {
 		"how long graceful shutdown waits for in-flight streams before cutting their connections")
 	sidecarFlag := flag.String("sidecar", "off",
 		"structural sidecar index (<path>.atgx): off | read | readwrite")
+	coordinator := flag.Bool("coordinator", false,
+		"run as a cluster coordinator: scatter queries and joins over the -worker set and merge their streams (no local engine or sources)")
+	healthInterval := flag.Duration("health-interval", time.Second,
+		"coordinator worker health-probe period")
+	var workerURLs workerFlags
+	flag.Var(&workerURLs, "worker", "worker base URL for -coordinator mode, e.g. http://10.0.0.2:8080 (repeatable)")
 	var sources sourceFlags
 	flag.Var(&sources, "source", "register a dataset at startup: name=path[:format] (repeatable)")
 	weights := weightFlags{}
@@ -96,23 +117,54 @@ func main() {
 		log.Fatal(err)
 	}
 
-	eng := atgis.NewEngine(atgis.EngineConfig{
-		Workers:       *workers,
-		BlockSize:     *blockSize,
-		MaxInFlight:   *maxInFlight,
-		TenantQueue:   *tenantQueue,
-		TenantWeights: weights,
-		Sidecar:       sidecarMode,
-	})
-	defer eng.Close()
-
-	srv := server.New(server.Config{
-		Engine:         eng,
-		Options:        atgis.Options{BlockSize: *blockSize},
-		AllowRegister:  *allowRegister,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-	})
+	var srv *server.Server
+	if *coordinator {
+		// Coordinator mode: no local engine, no local sources — every
+		// pass scatters over the workers.
+		if len(workerURLs) == 0 {
+			log.Fatal("atgis-serve: -coordinator requires at least one -worker url")
+		}
+		if len(sources) > 0 {
+			log.Fatal("atgis-serve: -source is a worker flag; register the files on the workers")
+		}
+		if *allowRegister {
+			log.Fatal("atgis-serve: -allow-register is a worker flag; the coordinator never registers sources")
+		}
+		cl, err := cluster.New(cluster.Config{
+			Workers:        workerURLs,
+			HealthInterval: *healthInterval,
+		})
+		if err != nil {
+			log.Fatalf("atgis-serve: %v", err)
+		}
+		cl.Start()
+		defer cl.Stop()
+		srv = server.New(server.Config{
+			Cluster:        cl,
+			DefaultTimeout: *defaultTimeout,
+			MaxTimeout:     *maxTimeout,
+		})
+	} else {
+		if len(workerURLs) > 0 {
+			log.Fatal("atgis-serve: -worker requires -coordinator")
+		}
+		eng := atgis.NewEngine(atgis.EngineConfig{
+			Workers:       *workers,
+			BlockSize:     *blockSize,
+			MaxInFlight:   *maxInFlight,
+			TenantQueue:   *tenantQueue,
+			TenantWeights: weights,
+			Sidecar:       sidecarMode,
+		})
+		defer eng.Close()
+		srv = server.New(server.Config{
+			Engine:         eng,
+			Options:        atgis.Options{BlockSize: *blockSize},
+			AllowRegister:  *allowRegister,
+			DefaultTimeout: *defaultTimeout,
+			MaxTimeout:     *maxTimeout,
+		})
+	}
 	defer srv.Close()
 
 	for _, spec := range sources {
@@ -149,7 +201,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("atgis-serve listening on %s (workers=%d, max-inflight=%d)", *listen, *workers, *maxInFlight)
+	if *coordinator {
+		log.Printf("atgis-serve coordinating %d worker(s) on %s", len(workerURLs), *listen)
+	} else {
+		log.Printf("atgis-serve listening on %s (workers=%d, max-inflight=%d)", *listen, *workers, *maxInFlight)
+	}
 	err = hs.ListenAndServe()
 	// Wait for Shutdown to drain in-flight requests before the deferred
 	// srv.Close()/eng.Close() unmap sources and stop the pool under

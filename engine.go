@@ -645,6 +645,8 @@ func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, re
 		SortThreshold: spec.SortThreshold,
 		BatchCells:    spec.BatchCells,
 		OrderWindow:   spec.OrderWindow,
+		CellLo:        spec.CellLo,
+		CellHi:        spec.CellHi,
 	}
 	if e != nil && e.pool != nil {
 		tenant := admission.Tenant(ctx)

@@ -32,7 +32,7 @@ var guardNames = map[string]bool{
 }
 
 func runGuardedGo(pass *Pass) error {
-	if !pkgCovered(pass, "internal/pipeline", "internal/join", "internal/server") {
+	if !pkgCovered(pass, "internal/pipeline", "internal/join", "internal/server", "internal/cluster") {
 		return nil
 	}
 	decls := funcDecls(pass)

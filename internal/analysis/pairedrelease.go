@@ -89,6 +89,12 @@ var acquireSpecs = []acquireSpec{
 	{call: "CreateTemp", recvHint: "os", result: 0, errResult: 1,
 		releaseMethods: []string{"Close"},
 		what:           "temp file handle (os.CreateTemp; close before rename, remove on failure)"},
+	// Coordinator worker RPCs: every http.Client.Do response body must
+	// reach closeBody (drain + close) or escape to an owner that does —
+	// a leaked body pins the worker connection and starves the pool.
+	{call: "Do", recvHint: "Client", result: 0, errResult: 1,
+		releaseFuncs: []string{"closeBody"},
+		what:         "worker RPC response (closeBody drains and closes the body)"},
 }
 
 // matchSpec returns the protocol call matches, if any. The qualifier

@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPlanBytesTiling(t *testing.T) {
+	cases := []struct {
+		total int64
+		n     int
+	}{
+		{1000, 1}, {1000, 3}, {1000, 7}, {10, 10}, {3, 8}, {1, 4},
+	}
+	for _, tc := range cases {
+		tiles := PlanBytes(tc.total, tc.n)
+		var at int64
+		for i, r := range tiles {
+			if r.Start != at {
+				t.Fatalf("total=%d n=%d: tile %d starts at %d, want %d", tc.total, tc.n, i, r.Start, at)
+			}
+			if r.End <= r.Start {
+				t.Fatalf("total=%d n=%d: tile %d empty: %+v", tc.total, tc.n, i, r)
+			}
+			at = r.End
+		}
+		if at != tc.total {
+			t.Fatalf("total=%d n=%d: tiles end at %d", tc.total, tc.n, at)
+		}
+	}
+	if got := PlanBytes(0, 4); len(got) != 1 || got[0] != (Range{0, 0}) {
+		t.Fatalf("empty input plan = %+v", got)
+	}
+}
+
+func TestPlanCellsTiling(t *testing.T) {
+	for _, tc := range [][2]int{{100, 1}, {100, 3}, {7, 7}, {3, 9}} {
+		bands := PlanCells(tc[0], tc[1])
+		at := 0
+		for i, b := range bands {
+			if b[0] != at || b[1] <= b[0] {
+				t.Fatalf("cells=%d n=%d: band %d = %v (cursor %d)", tc[0], tc[1], i, b, at)
+			}
+			at = b[1]
+		}
+		if at != tc[0] {
+			t.Fatalf("cells=%d n=%d: bands end at %d", tc[0], tc[1], at)
+		}
+	}
+}
+
+func TestGridCellsMatchesEngineDefault(t *testing.T) {
+	if GridCells(0) != GridCells(1) {
+		t.Fatal("cell<=0 must select the engine default of 1 degree")
+	}
+	if GridCells(1) <= 0 {
+		t.Fatal("degenerate cell count")
+	}
+}
+
+// TestRendezvousStability: removing one worker only reassigns the keys
+// that preferred it — every other key keeps its top choice (the
+// minimal-disruption property that keeps worker page caches warm across
+// membership churn).
+func TestRendezvousStability(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c", "http://d"}
+	top := func(urls []string, key string) string {
+		cp := append([]string(nil), urls...)
+		rendezvousSort(cp, key)
+		return cp[0]
+	}
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("query:src:%d", i)
+		before := top(all, key)
+		after := top(all[:3], key) // drop http://d
+		if before != "http://d" && before != after {
+			t.Fatalf("key %q moved %s -> %s though its worker survived", key, before, after)
+		}
+		if before == "http://d" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("suspicious: no key ever preferred the removed worker")
+	}
+}
+
+func TestDecodeShardHead(t *testing.T) {
+	h, err := DecodeShardHead([]byte(`{"type":"shard","start":10,"end":90,"aligned_start":12,"aligned_end":95}`))
+	if err != nil || h.AlignedStart != 12 || h.AlignedEnd != 95 {
+		t.Fatalf("decode: %+v, %v", h, err)
+	}
+	for _, bad := range []string{
+		`{"type":"summary"}`,
+		`not json`,
+		`{"type":"shard","start":10,"end":20,"aligned_start":5,"aligned_end":25}`, // aligned before raw start
+		`{"type":"shard","start":0,"end":20,"aligned_start":30,"aligned_end":25}`, // end before start
+	} {
+		if _, err := DecodeShardHead([]byte(bad)); err == nil {
+			t.Fatalf("DecodeShardHead(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStreamDecoderClassification(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"type":"shard","start":0,"end":10,"aligned_start":0,"aligned_end":10}`,
+		``,
+		`{"type":"feature","id":1}`,
+		`{"type":"pair","a_id":1,"b_id":2}`,
+		`{"type":"widget"}`, // unknown types are payload (forward-compatible)
+		`{"type":"error","kind":"panic"}`,
+		`{"type":"summary","matched":3}`,
+	}, "\n")
+	want := []RecKind{RecShardHead, RecPayload, RecPayload, RecPayload, RecError, RecSummary}
+	dec := NewStreamDecoder(strings.NewReader(stream))
+	for i, w := range want {
+		_, kind, err := dec.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if kind != w {
+			t.Fatalf("record %d: kind %d, want %d", i, kind, w)
+		}
+	}
+	if _, _, err := dec.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("tail: %v, want EOF", err)
+	}
+
+	for _, bad := range []string{"not json\n", `{"no_type":1}` + "\n", `[]` + "\n"} {
+		if _, _, err := NewStreamDecoder(strings.NewReader(bad)).Next(); err == nil {
+			t.Fatalf("decoder accepted %q", bad)
+		}
+	}
+	// Over-long records fail bounded, not buffered without bound.
+	long := `{"type":"feature","pad":"` + strings.Repeat("x", maxRecordLine) + `"}`
+	if _, _, err := NewStreamDecoder(strings.NewReader(long)).Next(); err == nil {
+		t.Fatal("over-long record should fail")
+	}
+}
+
+// shardResponse writes a canned worker shard stream.
+func shardResponse(w http.ResponseWriter, head string, payloads []string, summary string) {
+	if head != "" {
+		io.WriteString(w, head+"\n")
+	}
+	for _, p := range payloads {
+		io.WriteString(w, p+"\n")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	if summary != "" {
+		io.WriteString(w, summary+"\n")
+	}
+}
+
+// TestScatterRetryResumesMidStream is the core failover contract: the
+// first worker dies after forwarding part of its shard; the retry on
+// the second worker replays the deterministic stream and the
+// coordinator resumes past the committed prefix — the client sees every
+// record exactly once.
+func TestScatterRetryResumesMidStream(t *testing.T) {
+	head := `{"type":"shard","start":0,"end":100,"aligned_start":0,"aligned_end":100}`
+	payloads := []string{
+		`{"type":"feature","id":1}`,
+		`{"type":"feature","id":2}`,
+		`{"type":"feature","id":3}`,
+	}
+	summary := `{"type":"summary","matched":3}`
+
+	var flaky atomic.Bool
+	flaky.Store(true)
+	w1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if flaky.Load() {
+			flaky.Store(false)
+			// Send the head and two records, then die mid-stream.
+			shardResponse(w, head, payloads[:2], "")
+			panic(http.ErrAbortHandler)
+		}
+		shardResponse(w, head, payloads, summary)
+	}))
+	defer w1.Close()
+	w2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shardResponse(w, head, payloads, summary)
+	}))
+	defer w2.Close()
+
+	c, err := New(Config{Workers: []string{w1.URL, w2.URL}, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	var summaries int
+	err = c.Scatter(context.Background(), ScatterSpec{
+		Path: "/v1/query",
+		Subs: []SubRequest{{
+			Body: []byte(`{}`), Key: "k", Raw: &Range{Start: 0, End: 100},
+			Prefer: w1.URL,
+		}},
+		Emit: func(line []byte) bool {
+			got = append(got, string(bytes.Clone(line)))
+			return true
+		},
+		OnSummary: func(idx int, line []byte) error { summaries++; return nil },
+		OnFault: func(idx int, err error) bool {
+			t.Errorf("unexpected shard fault: %v", err)
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summaries != 1 {
+		t.Fatalf("summaries = %d, want 1", summaries)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("forwarded %d records, want %d: %v", len(got), len(payloads), got)
+	}
+	for i := range payloads {
+		if got[i] != payloads[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+	if n := c.Snapshot().ShardRetries; n < 1 {
+		t.Fatalf("shard_retries = %d, want >= 1", n)
+	}
+}
+
+// TestScatterSplitBrainHandshake: a retry whose replayed head disagrees
+// with the committed prefix must degrade to a shard fault, never
+// interleave records from a different file.
+func TestScatterSplitBrainHandshake(t *testing.T) {
+	var calls atomic.Int64
+	w1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == 1 {
+			shardResponse(w, `{"type":"shard","start":0,"end":100,"aligned_start":0,"aligned_end":100}`,
+				[]string{`{"type":"feature","id":1}`}, "")
+			panic(http.ErrAbortHandler)
+		}
+		// The "file changed" replay: different aligned range.
+		shardResponse(w, `{"type":"shard","start":0,"end":100,"aligned_start":0,"aligned_end":90}`,
+			[]string{`{"type":"feature","id":9}`},
+			`{"type":"summary","matched":1}`)
+	}))
+	defer w1.Close()
+
+	c, err := New(Config{Workers: []string{w1.URL}, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := 0
+	err = c.Scatter(context.Background(), ScatterSpec{
+		Path: "/v1/query",
+		Subs: []SubRequest{{Body: []byte(`{}`), Key: "k", Raw: &Range{Start: 0, End: 100}}},
+		Emit: func(line []byte) bool { return true },
+		OnFault: func(idx int, ferr error) bool {
+			faults++
+			if !errors.Is(ferr, ErrSplitBrain) {
+				t.Errorf("fault should be split-brain, got: %v", ferr)
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d, want 1", faults)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2 (split-brain must not burn the budget)", calls.Load())
+	}
+}
+
+// TestScatterExhaustionDegradesInBand: all attempts fail → shard_fault
+// via OnFault, Scatter still returns nil (the pass completed, degraded).
+func TestScatterExhaustionDegradesInBand(t *testing.T) {
+	w1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer w1.Close()
+	c, err := New(Config{Workers: []string{w1.URL}, MaxAttempts: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := 0
+	err = c.Scatter(context.Background(), ScatterSpec{
+		Path:    "/v1/query",
+		Subs:    []SubRequest{{Body: []byte(`{}`), Key: "k"}},
+		Emit:    func([]byte) bool { return true },
+		OnFault: func(int, error) bool { faults++; return true },
+	})
+	if err != nil {
+		t.Fatalf("a degraded pass should complete: %v", err)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d, want 1", faults)
+	}
+	s := c.Snapshot()
+	if s.ShardFaults != 1 || s.ShardRetries != 1 {
+		t.Fatalf("counters = %+v, want 1 fault / 1 retry", s)
+	}
+}
+
+func TestLookupSourceSplitBrain(t *testing.T) {
+	mk := func(bytes int64) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/v1/sources" {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprintf(w, `{"sources":[{"name":"data","format":"geojson","bytes":%d}]}`, bytes)
+		}))
+	}
+	w1, w2 := mk(1000), mk(2000)
+	defer w1.Close()
+	defer w2.Close()
+	c, err := New(Config{Workers: []string{w1.URL, w2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LookupSource(context.Background(), "data"); !errors.Is(err, ErrSplitBrain) {
+		t.Fatalf("lookup over divergent copies: %v, want ErrSplitBrain", err)
+	}
+	if _, err := c.LookupSource(context.Background(), "nope"); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("unknown source: %v, want ErrNoWorkers", err)
+	}
+	views := c.Sources(context.Background())
+	if len(views) != 1 || !views[0].Conflict {
+		t.Fatalf("Sources() = %+v, want one conflicted entry", views)
+	}
+}

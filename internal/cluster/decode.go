@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RecKind classifies one NDJSON record of a worker response stream.
+type RecKind uint8
+
+const (
+	// RecPayload is a pass-through record (feature, pair — any type the
+	// coordinator forwards opaquely, so workers can grow new record
+	// kinds without a coordinator upgrade).
+	RecPayload RecKind = iota
+	// RecShardHead is the byte-shard handshake (type "shard").
+	RecShardHead
+	// RecSummary is the terminal summary record.
+	RecSummary
+	// RecError is a worker's in-band pass-failure record.
+	RecError
+)
+
+// maxRecordLine bounds one NDJSON record on the wire. Feature records
+// carry at most a few KiB of extracted properties; anything beyond this
+// is a corrupt or hostile stream, failed as a protocol error rather
+// than buffered without bound.
+const maxRecordLine = 8 << 20
+
+// StreamDecoder reads one worker's NDJSON response, classifying each
+// record so the merge loop knows what to forward, what to fold and what
+// marks the end. It tolerates blank lines and classifies unknown record
+// types as payload; it is the surface FuzzShardResponseDecode drives
+// with adversarial bytes — it must never panic and never read past one
+// record's bound.
+type StreamDecoder struct {
+	sc *bufio.Scanner
+}
+
+// NewStreamDecoder wraps a worker response body.
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxRecordLine)
+	return &StreamDecoder{sc: sc}
+}
+
+// Next returns the next record and its classification. io.EOF signals a
+// clean end of stream (the caller decides whether a summary was seen);
+// other errors are transport failures, over-long records, or records
+// that do not parse as typed JSON objects. The returned line aliases
+// the scanner's buffer — valid until the next call.
+func (d *StreamDecoder) Next() ([]byte, RecKind, error) {
+	for d.sc.Scan() {
+		line := d.sc.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		kind, err := Classify(line)
+		if err != nil {
+			return nil, kind, err
+		}
+		return line, kind, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return nil, RecPayload, err
+	}
+	return nil, RecPayload, io.EOF
+}
+
+// trimSpace is a minimal ASCII-whitespace trim (records are JSON, whose
+// insignificant whitespace is ASCII).
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
+		b = b[1:]
+	}
+	for len(b) > 0 {
+		c := b[len(b)-1]
+		if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+			break
+		}
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// Classify determines one record's kind from its type field. Unknown
+// non-empty types are payload (forward-compatible); a record that is
+// not a JSON object with a string type is a protocol error.
+func Classify(line []byte) (RecKind, error) {
+	var t struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &t); err != nil {
+		return RecPayload, fmt.Errorf("cluster: malformed record: %w", err)
+	}
+	switch t.Type {
+	case "shard":
+		return RecShardHead, nil
+	case "summary":
+		return RecSummary, nil
+	case "error":
+		return RecError, nil
+	case "":
+		return RecPayload, fmt.Errorf("cluster: record missing type field")
+	default:
+		return RecPayload, nil
+	}
+}

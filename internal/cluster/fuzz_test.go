@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzShardResponseDecode drives the coordinator's worker-stream
+// decoder with adversarial bytes. The decoder sits between the
+// coordinator and whatever a half-dead worker (or a non-worker answering
+// its port) sends back, so the contract is the same one the parsers owe
+// the fault-containment layer: never panic, never read unboundedly, and
+// classify every record it does accept into a valid kind.
+func FuzzShardResponseDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"shard","start":0,"end":10,"aligned_start":0,"aligned_end":10}` + "\n" +
+		`{"type":"feature","id":1}` + "\n" +
+		`{"type":"summary","matched":1}` + "\n"))
+	f.Add([]byte(`{"type":"pair","a_id":1,"b_id":2}` + "\n" + `{"type":"error","kind":"panic"}` + "\n"))
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte(`{"type":"shard","start":-5,"end":-9,"aligned_start":-1,"aligned_end":-2}`))
+	f.Add([]byte(`{"type":}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(strings.Repeat(`{"type":"x"}`+"\n", 64)))
+	f.Add(bytes.Repeat([]byte{0xff, 0x00, '\n'}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewStreamDecoder(bytes.NewReader(data))
+		for i := 0; i < 1<<16; i++ {
+			line, kind, err := dec.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) && line != nil {
+					t.Fatal("EOF must not carry a record")
+				}
+				return // any error terminates the stream; that is the contract
+			}
+			if len(line) == 0 {
+				t.Fatal("decoder returned an empty record without error")
+			}
+			switch kind {
+			case RecPayload, RecSummary, RecError:
+			case RecShardHead:
+				// A head record must round-trip through the validating
+				// decoder or fail cleanly — never panic.
+				if _, err := DecodeShardHead(line); err == nil {
+					if _, err2 := DecodeShardHead(line); err2 != nil {
+						t.Fatal("DecodeShardHead not deterministic")
+					}
+				}
+			default:
+				t.Fatalf("invalid record kind %d", kind)
+			}
+		}
+	})
+}

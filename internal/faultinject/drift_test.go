@@ -181,6 +181,7 @@ func TestFaultSiteDrift(t *testing.T) {
 		"pipeline.block", "pipeline.split", "pipeline.merge",
 		"join.batch", "admission.acquire",
 		"sidecar.load", "sidecar.write",
+		"shard.rpc", "shard.merge",
 	} {
 		if !code[required] {
 			t.Errorf("required fault site %q has no faultinject.Fire call site", required)

@@ -26,6 +26,8 @@
 //	admission.acquire  one per admission Acquire (index = 0)
 //	sidecar.load       one per sidecar index read (label = source file)
 //	sidecar.write      one per sidecar persist attempt (label = source file)
+//	shard.rpc          one per coordinator shard RPC attempt (index = shard)
+//	shard.merge        one per coordinator shard stream-merge attempt (index = shard)
 //
 // Every Fire carries the pass label (the tenant on engine-owned pools),
 // so a hook can poison one tenant's passes while other tenants proceed —

@@ -98,6 +98,31 @@ func FindFeatureBoundariesStream(input []byte, minGap int, yieldCut func(int64) 
 	}
 }
 
+// NextFeatureBoundary returns the offset of the first candidate
+// feature boundary at or after from, or len(input) when none remains.
+// The result depends only on the bytes from `from` onward: a candidate
+// whose opening brace lies before `from` is never reported (its tag
+// scan backs up below `from` and is rejected), so two scans of the same
+// content from the same offset always agree. That determinism is what
+// lets distributed shard passes align their raw byte ranges
+// independently — the worker ending a shard at raw offset X and the
+// worker starting the next shard at X compute the same aligned
+// boundary with no coordination.
+func NextFeatureBoundary(input []byte, from int64) int64 {
+	if from < 0 {
+		from = 0
+	}
+	if from >= int64(len(input)) {
+		return int64(len(input))
+	}
+	out := int64(len(input))
+	FindFeatureBoundariesStream(input[from:], 1, func(cut int64) bool {
+		out = from + cut
+		return false // first boundary only
+	})
+	return out
+}
+
 // PATBlockResult is the outcome of parsing one PAT block in the parallel
 // phase.
 type PATBlockResult struct {

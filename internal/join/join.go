@@ -103,6 +103,13 @@ type Config struct {
 	// trading bounded buffering and lookahead for a stable stream
 	// order. Ignored by Run, which globally sorts anyway.
 	OrderWindow int
+	// CellLo / CellHi restrict the sweep to the grid-cell band
+	// [CellLo, CellHi) — the join's unit of horizontal sharding: the
+	// reference-point dedup makes each pair owned by exactly one cell, so
+	// bands that tile [0, NumCells) partition the pair set exactly, and
+	// ordered bands concatenate into the full-sweep cell order. CellHi
+	// zero means NumCells (the whole grid).
+	CellLo, CellHi int
 
 	// refPointDedup suppresses duplicate pairs at the source: a pair is
 	// reported only by the cell containing the reference point (lower-
@@ -356,7 +363,20 @@ func run(a, b *partition.Set, cfg Config, stream func(Pair)) ([]Pair, Stats, err
 			window = workers
 		}
 	}
+	// The swept band: the whole grid unless a shard restricted it.
+	// Sequencer indices are band-relative so ordered bands start emitting
+	// immediately at index 0.
 	cells := a.Grid.NumCells()
+	lo, hi := cfg.CellLo, cfg.CellHi
+	if hi <= 0 || hi > cells {
+		hi = cells
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		lo = hi
+	}
 
 	s := &sweep{a: a, b: b, cfg: cfg, stream: stream}
 	if cfg.Handle != nil {
@@ -371,13 +391,13 @@ func run(a, b *partition.Set, cfg Config, stream func(Pair)) ([]Pair, Stats, err
 	}
 
 	g := pipeline.NewTaskGroup(cfg.Ctx, cfg.Handle, window)
-	for c := 0; c < cells; c += batch {
+	for c := lo; c < hi; c += batch {
 		if s.failed() {
 			break
 		}
-		idx, start, end := c/batch, c, c+batch
-		if end > cells {
-			end = cells
+		idx, start, end := (c-lo)/batch, c, c+batch
+		if end > hi {
+			end = hi
 		}
 		if s.seq != nil && !s.seq.reserve(cfg.done(), idx) {
 			break

@@ -1,0 +1,457 @@
+package server
+
+// Cluster-mode end-to-end tests: real worker Servers behind httptest
+// listeners, a coordinator Server scattering over them, and the
+// single-node Server as the reference. The load-bearing property is
+// byte-identity — the coordinator must forward exactly the records a
+// single node would produce, in the same order, whether or not a worker
+// died along the way.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atgis"
+	"atgis/internal/cluster"
+	"atgis/internal/faultinject"
+)
+
+// startWorker stands up one worker node serving path as "data".
+func startWorker(t *testing.T, path string) *httptest.Server {
+	t.Helper()
+	_, ts := newTestServerWithPath(t, path, atgis.EngineConfig{Workers: 2})
+	return ts
+}
+
+// startCoordinator assembles a coordinator Server over the worker URLs,
+// with test-speed health probes and retry backoff.
+func startCoordinator(t *testing.T, workers ...string) (*cluster.Coordinator, *httptest.Server) {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Workers:        workers,
+		HealthInterval: 20 * time.Millisecond,
+		Backoff:        time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	srv := New(Config{Cluster: cl})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		cl.Stop()
+	})
+	return cl, ts
+}
+
+// rawLines reads an NDJSON body into raw text lines.
+func rawLines(t *testing.T, body io.Reader) []string {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []string
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// splitStream separates a stream's payload lines from its terminal
+// summary record.
+func splitStream(t *testing.T, lines []string) ([]string, map[string]any) {
+	t.Helper()
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	var sum map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatalf("bad terminal record %q: %v", lines[len(lines)-1], err)
+	}
+	if sum["type"] != "summary" {
+		t.Fatalf("stream ends with %q, want summary", lines[len(lines)-1])
+	}
+	return lines[:len(lines)-1], sum
+}
+
+// fetchStream posts body to url and returns the split NDJSON response.
+func fetchStream(t *testing.T, ts *httptest.Server, path, body string) ([]string, map[string]any) {
+	t.Helper()
+	resp := postJSON(t, ts.Client(), ts.URL+path, body, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: HTTP %d: %s", path, resp.StatusCode, msg)
+	}
+	return splitStream(t, rawLines(t, resp.Body))
+}
+
+// samePayload requires two payload streams to be byte-identical.
+func samePayload(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d payload lines, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("payload line %d:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClusterQueryMatchesSingleNode(t *testing.T) {
+	path := writeSynthetic(t, 400)
+	w1, w2 := startWorker(t, path), startWorker(t, path)
+	_, single := newTestServerWithPath(t, path, atgis.EngineConfig{Workers: 2})
+	_, coord := startCoordinator(t, w1.URL, w2.URL)
+
+	// Aggregation: counts and the MBR merge exactly across shards; the
+	// float sums regroup, so they get a relative tolerance instead.
+	agg := `{"source":"data","kind":"aggregation","ref":[-180,-90,180,90],"want":["area","perimeter","mbr"]}`
+	_, wantSum := fetchStream(t, single, "/v1/query", agg)
+	_, gotSum := fetchStream(t, coord, "/v1/query", agg)
+	for _, k := range []string{"matched", "scanned"} {
+		if gotSum[k] != wantSum[k] {
+			t.Fatalf("%s = %v, want %v", k, gotSum[k], wantSum[k])
+		}
+	}
+	gm, wm := gotSum["mbr"].([]any), wantSum["mbr"].([]any)
+	for i := range wm {
+		if gm[i] != wm[i] {
+			t.Fatalf("mbr[%d] = %v, want %v", i, gm[i], wm[i])
+		}
+	}
+	for _, k := range []string{"sum_area", "sum_perimeter"} {
+		g, w := gotSum[k].(float64), wantSum[k].(float64)
+		if math.Abs(g-w) > 1e-9*math.Abs(w) {
+			t.Fatalf("%s = %v, want %v", k, g, w)
+		}
+	}
+	if gotSum["shards_failed"] != nil {
+		t.Fatalf("clean pass reported shards_failed = %v", gotSum["shards_failed"])
+	}
+
+	// Containment: payload records must be byte-identical and in the
+	// single-node order (shard streams concatenate).
+	q := `{"source":"data","kind":"containment","ref":[-90,-45,90,45],"want":["area"]}`
+	wantPay, wantSum := fetchStream(t, single, "/v1/query", q)
+	gotPay, gotSum := fetchStream(t, coord, "/v1/query", q)
+	if len(wantPay) == 0 {
+		t.Fatal("reference query matched nothing")
+	}
+	samePayload(t, gotPay, wantPay)
+	if gotSum["matched"] != wantSum["matched"] || gotSum["scanned"] != wantSum["scanned"] {
+		t.Fatalf("summary %v, want %v", gotSum, wantSum)
+	}
+
+	// Limit applies globally at the coordinator, not per shard.
+	lim := `{"source":"data","kind":"containment","ref":[-90,-45,90,45],"limit":5}`
+	gotPay, _ = fetchStream(t, coord, "/v1/query", lim)
+	if len(gotPay) != 5 {
+		t.Fatalf("limit 5 streamed %d records", len(gotPay))
+	}
+}
+
+func TestClusterJoinOrderedMatchesSingleNode(t *testing.T) {
+	path := writeSyntheticScaled(t, 200, 0.05)
+	w1, w2 := startWorker(t, path), startWorker(t, path)
+	_, single := newTestServerWithPath(t, path, atgis.EngineConfig{Workers: 2})
+	_, coord := startCoordinator(t, w1.URL, w2.URL)
+
+	// Ordered joins emit pairs in cell-sequence order independent of the
+	// window size, so per-band streams concatenate into the single-node
+	// stream exactly.
+	body := `{"source":"data","order_window":64}`
+	wantPay, wantSum := fetchStream(t, single, "/v1/join", body)
+	gotPay, gotSum := fetchStream(t, coord, "/v1/join", body)
+	if len(wantPay) == 0 {
+		t.Fatal("reference join found no pairs")
+	}
+	samePayload(t, gotPay, wantPay)
+	for _, k := range []string{"streamed", "candidates", "refined", "duplicates"} {
+		if gotSum[k] != wantSum[k] {
+			t.Fatalf("%s = %v, want %v", k, gotSum[k], wantSum[k])
+		}
+	}
+}
+
+func TestClusterShardRPCFaultRetriedAndConfined(t *testing.T) {
+	path := writeSynthetic(t, 300)
+	w1, w2 := startWorker(t, path), startWorker(t, path)
+	_, single := newTestServerWithPath(t, path, atgis.EngineConfig{Workers: 2})
+	cl, coord := startCoordinator(t, w1.URL, w2.URL)
+
+	// Poison shard 0's first RPC attempt: the injected panic must be
+	// confined to that attempt (pipeline.Guarded in the dispatch
+	// goroutine) and the shard retried — the client stream stays
+	// byte-identical to a clean pass.
+	t.Cleanup(faultinject.Reset)
+	var fired atomic.Bool
+	faultinject.Set("shard.rpc", func(label string, index int64) {
+		if index == 0 && fired.CompareAndSwap(false, true) {
+			panic(faultinject.SimulatedFault{Site: "shard.rpc"})
+		}
+	})
+
+	q := `{"source":"data","kind":"containment","ref":[-90,-45,90,45]}`
+	wantPay, _ := fetchStream(t, single, "/v1/query", q)
+	gotPay, gotSum := fetchStream(t, coord, "/v1/query", q)
+	samePayload(t, gotPay, wantPay)
+	if !fired.Load() {
+		t.Fatal("fault site never fired")
+	}
+	if gotSum["shards_failed"] != nil {
+		t.Fatalf("retried shard reported as failed: %v", gotSum)
+	}
+	if n := cl.Snapshot().ShardRetries; n < 1 {
+		t.Fatalf("ShardRetries = %d, want >= 1", n)
+	}
+}
+
+func TestClusterShardExhaustionDegradesInBand(t *testing.T) {
+	path := writeSynthetic(t, 300)
+	w1, w2 := startWorker(t, path), startWorker(t, path)
+	_, single := newTestServerWithPath(t, path, atgis.EngineConfig{Workers: 2})
+	cl, coord := startCoordinator(t, w1.URL, w2.URL)
+
+	// Shard 1 fails every attempt: the pass must finish with shard 0's
+	// records (the single-node prefix), one in-band shard_fault record,
+	// and a summary carrying shards_failed — never a dead connection.
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set("shard.rpc", func(label string, index int64) {
+		if index == 1 {
+			panic(faultinject.SimulatedFault{Site: "shard.rpc"})
+		}
+	})
+
+	q := `{"source":"data","kind":"containment","ref":[-90,-45,90,45]}`
+	wantPay, _ := fetchStream(t, single, "/v1/query", q)
+	lines, sum := fetchStream(t, coord, "/v1/query", q)
+	var pay []string
+	faults := 0
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("bad line %q: %v", ln, err)
+		}
+		if m["type"] == "error" {
+			if m["kind"] != "shard_fault" {
+				t.Fatalf("unexpected error kind %v", m["kind"])
+			}
+			faults++
+			continue
+		}
+		pay = append(pay, ln)
+	}
+	if faults != 1 {
+		t.Fatalf("%d shard_fault records, want 1", faults)
+	}
+	if sum["shards_failed"] != float64(1) {
+		t.Fatalf("shards_failed = %v, want 1", sum["shards_failed"])
+	}
+	// The surviving shard's records are a prefix of the single-node
+	// stream — deterministic shard execution, shard-order merge.
+	if len(pay) == 0 || len(pay) >= len(wantPay) {
+		t.Fatalf("degraded pass streamed %d records, reference %d", len(pay), len(wantPay))
+	}
+	samePayload(t, pay, wantPay[:len(pay)])
+	if n := cl.Snapshot().ShardFaults; n != 1 {
+		t.Fatalf("ShardFaults = %d, want 1", n)
+	}
+}
+
+// truncatingProxy fronts a worker and kills the connection of the first
+// shard query mid-stream, after passing the head and a couple of
+// payload records through — the shape of a worker dying under load.
+type truncatingProxy struct {
+	target  string
+	client  *http.Client
+	tripped atomic.Bool
+}
+
+func (p *truncatingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	// Let the transport negotiate (and transparently decode) gzip so the
+	// cut below happens on plain NDJSON lines.
+	req.Header.Del("Accept-Encoding")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	cut := r.URL.Path == "/v1/query" && resp.StatusCode == http.StatusOK &&
+		p.tripped.CompareAndSwap(false, true)
+	if !cut {
+		io.Copy(w, resp.Body)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for n := 0; n < 3 && sc.Scan(); n++ {
+		w.Write(sc.Bytes())
+		w.Write([]byte{'\n'})
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+func TestClusterWorkerDeathMidStreamResumes(t *testing.T) {
+	path := writeSynthetic(t, 400)
+	w1, w2 := startWorker(t, path), startWorker(t, path)
+	proxy := httptest.NewServer(&truncatingProxy{target: w1.URL, client: w1.Client()})
+	t.Cleanup(proxy.Close)
+	_, single := newTestServerWithPath(t, path, atgis.EngineConfig{Workers: 2})
+	cl, coord := startCoordinator(t, proxy.URL, w2.URL)
+
+	q := `{"source":"data","kind":"containment","ref":[-180,-90,180,90],"want":["area"]}`
+	wantPay, wantSum := fetchStream(t, single, "/v1/query", q)
+	gotPay, gotSum := fetchStream(t, coord, "/v1/query", q)
+	// The shard that hit the dying worker was retried and resumed past
+	// its already-forwarded records: no loss, no duplication.
+	samePayload(t, gotPay, wantPay)
+	if gotSum["matched"] != wantSum["matched"] || gotSum["scanned"] != wantSum["scanned"] {
+		t.Fatalf("summary %v, want %v", gotSum, wantSum)
+	}
+	if gotSum["shards_failed"] != nil {
+		t.Fatalf("resumed shard reported as failed: %v", gotSum)
+	}
+	if n := cl.Snapshot().ShardRetries; n < 1 {
+		t.Fatalf("ShardRetries = %d, want >= 1", n)
+	}
+}
+
+func TestClusterHealthzDegradedAfterWorkerLoss(t *testing.T) {
+	path := writeSynthetic(t, 100)
+	w1, w2 := startWorker(t, path), startWorker(t, path)
+	_, coord := startCoordinator(t, w1.URL, w2.URL)
+
+	status := func() string {
+		resp, err := coord.Client().Get(coord.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := m["status"].(string)
+		return s
+	}
+	if s := status(); s != "ok" {
+		t.Fatalf("initial status %q, want ok", s)
+	}
+
+	w2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for status() != "degraded" {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never reported degraded after worker loss")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Queries still run: the health-ranked assignment routes every shard
+	// to the survivor.
+	pay, sum := fetchStream(t, coord, "/v1/query",
+		`{"source":"data","kind":"containment","ref":[-180,-90,180,90]}`)
+	if len(pay) == 0 {
+		t.Fatal("no records through degraded cluster")
+	}
+	if sum["shards_failed"] != nil {
+		t.Fatalf("degraded-but-serving pass reported shards_failed = %v", sum["shards_failed"])
+	}
+}
+
+func TestClusterStatsSourcesAndRegister(t *testing.T) {
+	path := writeSynthetic(t, 100)
+	w1, w2 := startWorker(t, path), startWorker(t, path)
+	_, coord := startCoordinator(t, w1.URL, w2.URL)
+
+	// /v1/stats aggregates: coordinator counters plus each worker's own
+	// stats document.
+	resp, err := coord.Client().Get(coord.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Uptime  float64 `json:"uptime_seconds"`
+		Cluster struct {
+			Workers     []map[string]any           `json:"workers"`
+			Counters    map[string]any             `json:"counters"`
+			WorkerStats map[string]json.RawMessage `json:"worker_stats"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats.Cluster.Workers) != 2 {
+		t.Fatalf("%d workers in stats, want 2", len(stats.Cluster.Workers))
+	}
+	for _, u := range []string{w1.URL, w2.URL} {
+		if _, ok := stats.Cluster.WorkerStats[u]; !ok {
+			t.Fatalf("worker_stats missing %s", u)
+		}
+	}
+	if stats.Cluster.Counters == nil {
+		t.Fatal("stats missing cluster counters")
+	}
+
+	// /v1/sources is the merged view: one entry served by both workers.
+	resp, err = coord.Client().Get(coord.URL + "/v1/sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs struct {
+		Sources []clusterSourceInfo `json:"sources"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&srcs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(srcs.Sources) != 1 || srcs.Sources[0].Name != "data" {
+		t.Fatalf("sources = %+v, want one entry named data", srcs.Sources)
+	}
+	if len(srcs.Sources[0].Workers) != 2 || srcs.Sources[0].Conflict {
+		t.Fatalf("source view = %+v, want 2 workers and no conflict", srcs.Sources[0])
+	}
+
+	// The coordinator holds no data: registration belongs to workers.
+	rr := postJSON(t, coord.Client(), coord.URL+"/v1/sources", `{"name":"x","path":"/tmp/x"}`, "")
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusForbidden {
+		t.Fatalf("register on coordinator: HTTP %d, want 403", rr.StatusCode)
+	}
+}

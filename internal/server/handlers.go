@@ -323,6 +323,18 @@ type queryRequest struct {
 	// overriding the server's default timeout (and clamped to its
 	// -max-timeout). 0 means use the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Shard, when set, restricts the pass to the raw byte range
+	// [start, end) of the source — the cluster scatter unit. The worker
+	// aligns both ends forward to feature boundaries deterministically
+	// and prepends a shard handshake record to the response stream.
+	// Coordinator-internal; plain clients omit it.
+	Shard *shardSpec `json:"shard,omitempty"`
+}
+
+// shardSpec is the raw byte range of a scattered sub-query.
+type shardSpec struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
 }
 
 // compile validates the request into a query spec plus options.
@@ -429,6 +441,11 @@ type querySummary struct {
 	Workers      int         `json:"workers"`
 	Repaired     int         `json:"repaired,omitempty"`
 	Reprocessed  int         `json:"reprocessed,omitempty"`
+	// ShardsFailed is set only by a coordinator whose scattered pass
+	// degraded: that many shards exhausted their retries (each left an
+	// in-band shard_fault record), so the summary undercounts by the
+	// failed shards' share.
+	ShardsFailed int `json:"shards_failed,omitempty"`
 }
 
 func summarize(res *atgis.Result) querySummary {
@@ -660,6 +677,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if req.Shard != nil {
+		s.handleShardQuery(w, r, &req)
+		return
+	}
 	entry, ok := s.source(req.Source)
 	if !ok {
 		writeError(w, http.StatusNotFound, 0, "unknown source %q", req.Source)
@@ -788,6 +809,12 @@ type joinRequest struct {
 	// overriding the server's default timeout (and clamped to its
 	// -max-timeout). 0 means use the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// CellBand, when set, restricts the sweep to partition-grid cells
+	// [lo, hi) — the cluster scatter unit for joins. The partition phase
+	// still scans the full input; reference-point dedup makes bands that
+	// tile the grid partition the pair set exactly. Coordinator-internal;
+	// plain clients omit it.
+	CellBand *[2]int `json:"cell_band,omitempty"`
 }
 
 // pairRecord is one streamed joined pair.
@@ -808,6 +835,9 @@ type joinSummary struct {
 	Duplicates  int64   `json:"duplicates"`
 	PartitionMS float64 `json:"partition_ms"`
 	MBPerS      float64 `json:"mb_per_s"`
+	// ShardsFailed is set only by a coordinator whose scattered join
+	// degraded; see querySummary.ShardsFailed.
+	ShardsFailed int `json:"shards_failed,omitempty"`
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -836,9 +866,16 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, 0, "timeout_ms must be >= 0")
 		return
 	}
+	if req.CellBand != nil && (req.CellBand[0] < 0 || req.CellBand[1] < req.CellBand[0]) {
+		writeError(w, http.StatusBadRequest, 0, "cell_band must be [lo, hi) with 0 <= lo <= hi")
+		return
+	}
 	// Both wire masks split purely by feature ID, so sidecar-enabled
 	// engines may rebuild the partition sets from the index tape.
 	spec := atgis.JoinSpec{CellSize: req.Cell, OrderWindow: req.OrderWindow, BoundsSafeMask: true}
+	if req.CellBand != nil {
+		spec.CellLo, spec.CellHi = req.CellBand[0], req.CellBand[1]
+	}
 	selfJoin := false
 	switch req.Mask {
 	case "", "parity":
@@ -897,7 +934,13 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		out.writeFinal(execErrorRecord(err))
 		return
 	}
-	entry.passDone()
+	if req.CellBand != nil {
+		// A banded sweep is a partial pass: count it, but only a full
+		// pass may clear a recorded source fault.
+		entry.passes.Add(1)
+	} else {
+		entry.passDone()
+	}
 	out.writeFinal(joinSummary{
 		Type:        "summary",
 		Streamed:    streamed,

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"atgis"
+	"atgis/internal/cluster"
 )
 
 // ErrDuplicateSource is matched (errors.Is) when registering a name
@@ -64,6 +65,12 @@ type Config struct {
 	// Requests asking for more are silently clamped — the cap is an
 	// operator bound, not a validation error.
 	MaxTimeout time.Duration
+	// Cluster switches the server into coordinator mode: the same /v1
+	// surface, but queries and joins are scattered over the
+	// coordinator's workers and merged (see internal/cluster). Engine is
+	// unused (may be nil), no local sources are served, and source
+	// registration is refused — register on the workers.
+	Cluster *cluster.Coordinator
 }
 
 // Server is the HTTP front-end state: the engine plus the named-source
@@ -75,6 +82,7 @@ type Server struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	started        time.Time
+	cl             *cluster.Coordinator // non-nil in coordinator mode
 
 	// inflight tracks requests inside the handler so Close can wait for
 	// them before unmapping sources out from under running passes;
@@ -129,6 +137,7 @@ func New(cfg Config) *Server {
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     cfg.MaxTimeout,
 		started:        time.Now(),
+		cl:             cfg.Cluster,
 		sources:        make(map[string]*sourceEntry),
 	}
 }
@@ -202,15 +211,26 @@ func (s *Server) Close() error {
 	return first
 }
 
-// Handler returns the routed HTTP handler for the full /v1 surface.
+// Handler returns the routed HTTP handler for the full /v1 surface. In
+// coordinator mode the same routes are served by the scatter-gather
+// handlers instead of local execution.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/sources", s.handleListSources)
-	mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/join", s.handleJoin)
+	if s.cl != nil {
+		mux.HandleFunc("GET /healthz", s.handleClusterHealthz)
+		mux.HandleFunc("GET /v1/stats", s.handleClusterStats)
+		mux.HandleFunc("GET /v1/sources", s.handleClusterSources)
+		mux.HandleFunc("POST /v1/sources", s.handleClusterRegister)
+		mux.HandleFunc("POST /v1/query", s.handleClusterQuery)
+		mux.HandleFunc("POST /v1/join", s.handleClusterJoin)
+	} else {
+		mux.HandleFunc("GET /healthz", s.handleHealthz)
+		mux.HandleFunc("GET /v1/stats", s.handleStats)
+		mux.HandleFunc("GET /v1/sources", s.handleListSources)
+		mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
+		mux.HandleFunc("POST /v1/query", s.handleQuery)
+		mux.HandleFunc("POST /v1/join", s.handleJoin)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		s.inflightN.Add(1)

@@ -312,6 +312,26 @@ func SplitLinesStream(input []byte, blockSize int, yieldCut func(int64) bool) {
 	}
 }
 
+// NextLineStart returns the offset of the first line start at or after
+// from (from itself when it already begins a line), or len(input) when
+// none remains. Like the GeoJSON boundary scan, the result depends only
+// on the bytes at and after from-1, so independent shard passes align
+// adjacent raw ranges to the same line boundary.
+func NextLineStart(input []byte, from int64) int64 {
+	if from <= 0 {
+		return 0
+	}
+	n := int64(len(input))
+	if from >= n {
+		return n
+	}
+	i := from
+	for i < n && input[i-1] != '\n' {
+		i++
+	}
+	return i
+}
+
 // EachLine invokes fn for every non-empty line in block (offsets
 // absolute).
 func EachLine(input []byte, start, end int64, fn func(line []byte, off int64) error) error {

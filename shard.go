@@ -1,0 +1,286 @@
+package atgis
+
+import (
+	"context"
+	"fmt"
+
+	"atgis/internal/geojson"
+	"atgis/internal/geom"
+	"atgis/internal/pipeline"
+	"atgis/internal/query"
+	"atgis/internal/wkt"
+)
+
+// Shard-range execution: a prepared query restricted to a byte range of
+// the source, the worker half of atgis-serve's scatter-gather cluster
+// mode (docs/API.md, "Cluster coordinator"). The paper's associative
+// fold is what makes this sound — block results compose across machines
+// exactly as they compose across workers — provided every feature is
+// owned by exactly one shard. Ownership comes from deterministic
+// alignment: AlignShard moves each raw offset forward to the first
+// feature boundary at or after it, a computation that depends only on
+// the bytes from that offset onward, so the worker ending shard k at
+// raw offset X and the worker starting shard k+1 at X agree on the
+// aligned boundary with no coordination. Adjacent aligned ranges
+// therefore tile the feature set with no gap and no overlap, and
+// per-shard results merge into exactly the single-pass result (integer
+// counts and MBR merge bit-exactly; floating-point sum aggregates may
+// differ in the last ulp because shard merging regroups the additions).
+//
+// Shard passes always run the PAT machinery (boundary-aligned blocks
+// need the known-state splits; FAT speculation has no shard-local
+// repair story) and never touch the sidecar: the warm planner prunes
+// against the whole tape, and a recorder fed by a partial pass must
+// never persist a partial tape.
+
+// ShardRange is a half-open raw byte range [Start, End) of a source.
+// Callers may pass arbitrary offsets; execution aligns both ends
+// forward to feature boundaries (AlignShard) before any parsing.
+type ShardRange struct {
+	Start, End int64
+}
+
+// AlignShard aligns r's raw offsets to feature boundaries for src's
+// format: the first GeoJSON feature-object start, or the first WKT line
+// start, at or after each offset (an offset at or past EOF aligns to
+// EOF). OSM XML cannot be range-sharded — its two-pass execution needs
+// the global node table — and returns an error. Alignment is
+// idempotent and purely content-determined, so adjacent shards aligned
+// on identical content tile the source exactly.
+func AlignShard(src Source, r ShardRange) (ShardRange, error) {
+	data := src.Bytes()
+	n := int64(len(data))
+	if r.Start < 0 {
+		r.Start = 0
+	}
+	if r.End > n || r.End < 0 {
+		r.End = n
+	}
+	switch src.DataFormat() {
+	case GeoJSON:
+		r.Start = geojson.NextFeatureBoundary(data, r.Start)
+		if r.End < n {
+			r.End = geojson.NextFeatureBoundary(data, r.End)
+		}
+	case WKT:
+		r.Start = wkt.NextLineStart(data, r.Start)
+		if r.End < n {
+			r.End = wkt.NextLineStart(data, r.End)
+		}
+	default:
+		return r, fmt.Errorf("atgis: cannot shard %v source by byte range", src.DataFormat())
+	}
+	if r.Start > r.End {
+		r.Start = r.End
+	}
+	return r, nil
+}
+
+// ExecuteShard runs the prepared query over only the features whose
+// boundaries fall in the aligned form of r, blocking until the partial
+// summary is complete. Summing ExecuteShard results over ranges that
+// tile the source reproduces Execute's counts and MBR exactly (see the
+// package comment above for the float-sum caveat).
+func (p *PreparedQuery) ExecuteShard(ctx context.Context, src Source, r ShardRange) (*Result, error) {
+	return p.runShard(ctx, src, r, nil)
+}
+
+// StreamShard is the streaming form of ExecuteShard: matching features
+// of the aligned range stream in input order, exactly the subsequence
+// of Stream's output that falls inside the range.
+func (p *PreparedQuery) StreamShard(ctx context.Context, src Source, r ShardRange) *Results {
+	res := &Results{}
+	ctx = res.init(ctx, 64)
+	go func() {
+		sum, err := p.runShard(ctx, src, r, func(f *geom.Feature, v query.FeatureVal) {
+			if !v.Matched {
+				return
+			}
+			select {
+			case res.ch <- StreamedFeature{Feature: *f, Val: v}:
+			case <-ctx.Done():
+			}
+		})
+		res.finish(sum, err)
+	}()
+	return res
+}
+
+// runShard is the shard execution core: Prepare's fused spec over the
+// aligned range, bypassing the sidecar in both directions.
+func (p *PreparedQuery) runShard(ctx context.Context, src Source, r ShardRange, onFeature func(*geom.Feature, query.FeatureVal)) (*Result, error) {
+	if err := p.engine.check(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, err := p.engine.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	aligned, err := AlignShard(src, r)
+	if err != nil {
+		return nil, err
+	}
+	data := src.Bytes()
+	spec := &p.spec
+	out := &Result{Res: query.NewResult()}
+	sink := func(f geojson.FeatureOut) {
+		v, _ := f.Val.(query.FeatureVal)
+		out.Res.Absorb(spec, &f.Feature, v)
+		if onFeature != nil {
+			onFeature(&f.Feature, v)
+		}
+	}
+	consume := func(f *geom.Feature) {
+		v := query.Apply(spec, f)
+		out.Res.Absorb(spec, f, v)
+		if onFeature != nil {
+			onFeature(f, v)
+		}
+	}
+	if aligned.Start >= aligned.End {
+		// Nothing owned by this shard (a range entirely inside the
+		// document wrapper, or at EOF).
+		out.Stats = pipeline.Stats{Workers: p.opt.workers()}
+		return out, nil
+	}
+	switch src.DataFormat() {
+	case GeoJSON:
+		out.Stats, out.Repaired, err = p.engine.runGeoJSONShard(ctx, data, aligned, p.cfg, p.opt, sink)
+	case WKT:
+		out.Stats, err = p.engine.runWKTShard(ctx, data, aligned, p.opt, consume)
+	default:
+		err = fmt.Errorf("atgis: cannot shard %v source by byte range", src.DataFormat())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runGeoJSONShard executes a PAT pass over the aligned range [s, e):
+// the document wrapper [0, hdr) parses sequentially via the fold's
+// Header (establishing the open root-object/features-array context
+// every PAT block assumes), the gap [hdr, s) is skipped unparsed, and
+// [s, e) splits into boundary-aligned blocks parsed in parallel. The
+// pipeline input is truncated at e so the final block — and the fold's
+// Finish — never read the bytes owned by the next shard.
+func (e *Engine) runGeoJSONShard(ctx context.Context, data []byte, r ShardRange, cfg *geojson.Config, opt Options, sink func(geojson.FeatureOut)) (pipeline.Stats, int, error) {
+	hdr := geojson.NextFeatureBoundary(data, 0)
+	if hdr > r.Start {
+		hdr = r.Start
+	}
+	input := data[:r.End]
+	fold := geojson.NewPATFold(input, cfg, sink)
+	headerDone := false
+	shardOK := true
+	st, err := pipeline.RunCtx(ctx, input,
+		pipeline.StreamSplitterFunc(func(_ []byte, yield func(int64) bool) {
+			if hdr > 0 && !yield(hdr) {
+				return
+			}
+			if r.Start > hdr && !yield(r.Start) {
+				return
+			}
+			geojson.FindFeatureBoundariesStream(data[r.Start:r.End], opt.blockSize(), func(cut int64) bool {
+				abs := r.Start + cut
+				if abs <= r.Start {
+					return true // the range starts on a boundary; already cut
+				}
+				return yield(abs)
+			})
+		}),
+		e.exec(ctx, opt),
+		func(b pipeline.Block) *geojson.PATBlockResult {
+			if b.Start < r.Start {
+				return nil // header or gap block: the fold handles it
+			}
+			br := geojson.ProcessBlockPAT(data, b.Start, b.End, cfg)
+			return &br
+		},
+		func(b pipeline.Block, br *geojson.PATBlockResult) {
+			switch {
+			case br == nil && b.Start < hdr:
+				fold.Header(b.End)
+				headerDone = true
+			case br == nil:
+				if !headerDone {
+					fold.Header(hdr)
+					headerDone = true
+				}
+				if !fold.Skip(b.End) {
+					shardOK = false
+				}
+			default:
+				if !headerDone {
+					fold.Header(hdr)
+					headerDone = true
+				}
+				fold.Add(*br)
+			}
+		},
+	)
+	if err != nil {
+		return st, fold.Repaired, err
+	}
+	if !shardOK {
+		// The wrapper parse spilled past the first boundary — the bytes
+		// between header and range start would need sequential parsing,
+		// which would double-count features owned by earlier shards.
+		return st, fold.Repaired, fmt.Errorf("atgis: shard gap [%d, %d) not skippable (malformed document wrapper)", hdr, r.Start)
+	}
+	return st, fold.Repaired, fold.Finish(r.End)
+}
+
+// runWKTShard executes the line-parallel WKT pass over [s, e): the
+// prefix [0, s) is never touched (WKT has no document wrapper) and the
+// input is truncated at e.
+func (e *Engine) runWKTShard(ctx context.Context, data []byte, r ShardRange, opt Options, consume func(*geom.Feature)) (pipeline.Stats, error) {
+	type frag struct {
+		feats []geom.Feature
+		err   error
+	}
+	input := data[:r.End]
+	var firstErr error
+	st, err := pipeline.RunCtx(ctx, input,
+		pipeline.StreamSplitterFunc(func(_ []byte, yield func(int64) bool) {
+			if r.Start > 0 && !yield(r.Start) {
+				return
+			}
+			wkt.SplitLinesStream(data[r.Start:r.End], opt.blockSize(), func(cut int64) bool {
+				return yield(r.Start + cut)
+			})
+		}),
+		e.exec(ctx, opt),
+		func(b pipeline.Block) frag {
+			var fr frag
+			if b.End <= r.Start {
+				return fr // prefix owned by earlier shards
+			}
+			fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {
+				f, err := wkt.ParseLine(line, off)
+				if err != nil {
+					return err
+				}
+				fr.feats = append(fr.feats, f)
+				return nil
+			})
+			return fr
+		},
+		func(b pipeline.Block, fr frag) {
+			if fr.err != nil && firstErr == nil {
+				firstErr = fr.err
+			}
+			for i := range fr.feats {
+				consume(&fr.feats[i])
+			}
+		},
+	)
+	if err != nil {
+		return st, err
+	}
+	return st, firstErr
+}

@@ -159,6 +159,13 @@ type JoinSpec struct {
 	// geometry (e.g. perimeter filters) must leave this false. A nil
 	// Mask is always bounds-safe.
 	BoundsSafeMask bool
+
+	// kernelEligible records that Predicate was defaulted to
+	// geom.Intersects by the engine: only then may the sweep substitute
+	// the batched slab kernels (join.Config.KernelRefine) — a
+	// caller-supplied predicate, even one that happens to equal
+	// geom.Intersects, is opaque and runs scalar.
+	kernelEligible bool
 }
 
 // JoinResult carries the joined pairs and phase timings (Fig. 11).

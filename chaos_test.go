@@ -18,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -276,6 +277,66 @@ func TestChaosJoinBatchPanic(t *testing.T) {
 	}()
 	wg.Wait()
 
+	var pp *PassPanicError
+	if !errors.As(poisonErr, &pp) {
+		t.Fatalf("poisoned join: %v, want *PassPanicError", poisonErr)
+	}
+	if pp.Site != "join-batch" {
+		t.Fatalf("panic site = %q, want join-batch", pp.Site)
+	}
+	if healthyErr != nil {
+		t.Fatalf("healthy join failed alongside poisoned one: %v", healthyErr)
+	}
+	if healthyPairs == 0 {
+		t.Fatal("healthy join streamed no pairs")
+	}
+	waitDrained(t, eng)
+}
+
+// TestChaosKernelBatchPanic poisons the batched-refinement kernel site
+// (fired only by kernel-refined sweeps) of one tenant's join: the panic
+// must fail only that join — contained as the owning cell-batch pass's
+// panic — while a concurrent healthy tenant's identical join completes.
+// It also proves the default-predicate join actually takes the kernel
+// path: the site must fire at all.
+func TestChaosKernelBatchPanic(t *testing.T) {
+	ds := genDataset(t, GeoJSON, 1500)
+	eng := chaosEngine(t)
+	spec := JoinSpec{Mask: parityMask, CellSize: 2}
+
+	t.Cleanup(faultinject.Reset)
+	var fired atomic.Bool
+	faultinject.Set("kernel.batch", func(label string, index int64) {
+		fired.Store(true)
+		if label == "poison" {
+			panic("chaos: injected kernel fault")
+		}
+	})
+
+	var wg sync.WaitGroup
+	var poisonErr, healthyErr error
+	var healthyPairs int
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		pairs := eng.JoinStream(WithTenant(context.Background(), "poison"), ds, spec, Options{})
+		for pairs.Next() {
+		}
+		_, poisonErr = pairs.Summary()
+	}()
+	go func() {
+		defer wg.Done()
+		pairs := eng.JoinStream(WithTenant(context.Background(), "healthy"), ds, spec, Options{})
+		for pairs.Next() {
+			healthyPairs++
+		}
+		_, healthyErr = pairs.Summary()
+	}()
+	wg.Wait()
+
+	if !fired.Load() {
+		t.Fatal("kernel.batch never fired: default-predicate joins should run kernel-refined")
+	}
 	var pp *PassPanicError
 	if !errors.As(poisonErr, &pp) {
 		t.Fatalf("poisoned join: %v, want *PassPanicError", poisonErr)

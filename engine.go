@@ -63,6 +63,15 @@ type EngineConfig struct {
 	// only apply to OpenMapped sources; a missing, stale or corrupt
 	// sidecar always degrades to a cold pass.
 	Sidecar SidecarMode
+
+	// PinWorkers pins each pool worker's OS thread to one CPU (Linux
+	// sched_setaffinity; a no-op elsewhere), complementing the
+	// scheduler's locality tie-break: a worker that keeps streaming the
+	// same source mapping also keeps running on the same core, so the
+	// mapping's pages stay in that core's cache hierarchy. Best-effort —
+	// workers whose pin fails run unpinned. PoolStats.PinnedWorkers
+	// reports how many pins took effect.
+	PinWorkers bool
 }
 
 // defaultTenantQueue is the per-tenant queue cap when admission is
@@ -134,7 +143,7 @@ type Engine struct {
 // cfg.MaxInFlight is positive, an admission gate in front of query
 // execution.
 func NewEngine(cfg EngineConfig) *Engine {
-	e := &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPool(cfg.Workers), sidecar: cfg.Sidecar}
+	e := &Engine{blockSize: cfg.BlockSize, pool: pipeline.NewPoolPinned(cfg.Workers, cfg.PinWorkers), sidecar: cfg.Sidecar}
 	if len(cfg.TenantWeights) > 0 {
 		// Private copy: the gate and the pool scheduler read these on
 		// every pass, and the caller's map must stay free to mutate
@@ -175,6 +184,9 @@ type PoolStats struct {
 	Workers int `json:"workers"`
 	// Busy is the number of workers currently executing a task.
 	Busy int `json:"busy"`
+	// PinnedWorkers is how many workers are pinned to a CPU
+	// (EngineConfig.PinWorkers; 0 when pinning is off or unsupported).
+	PinnedWorkers int `json:"pinned_workers,omitempty"`
 }
 
 // SchedulerTenantStats describes one tenant currently registered with
@@ -223,6 +235,13 @@ type SchedulerStats struct {
 	// TotalGrantedCellBatches is the join cell-batch subset of
 	// TotalGrantedBlocks.
 	TotalGrantedCellBatches uint64 `json:"total_granted_cell_batches"`
+	// LocalityHits counts grants that kept a worker on the source
+	// mapping its previous grant streamed; LocalityMisses counts grants
+	// that switched it. Only grants of passes with a known mapping are
+	// counted, so hits/(hits+misses) gauges how often the scheduler's
+	// locality tie-break (plus run overlap) preserves warm mappings.
+	LocalityHits   uint64 `json:"locality_hits"`
+	LocalityMisses uint64 `json:"locality_misses"`
 	// Tenants maps each tenant with registered passes to its live
 	// scheduling state; empty when the pool is idle.
 	Tenants map[string]SchedulerTenantStats `json:"tenants,omitempty"`
@@ -246,11 +265,13 @@ func (e *Engine) Stats() EngineStats {
 		return st
 	}
 	if e.pool != nil {
-		st.Pool = PoolStats{Workers: e.pool.Size(), Busy: e.pool.Busy()}
+		st.Pool = PoolStats{Workers: e.pool.Size(), Busy: e.pool.Busy(), PinnedWorkers: e.pool.Pinned()}
 		snap := e.pool.SchedSnapshot()
 		sched := &SchedulerStats{
 			TotalGrantedBlocks:      snap.TotalGranted,
 			TotalGrantedCellBatches: snap.TotalGrantedBatches,
+			LocalityHits:            snap.LocalityHits,
+			LocalityMisses:          snap.LocalityMisses,
 		}
 		// Shares are computed over the trailing window, not since
 		// activation: a tenant that burst minutes ago and has been
@@ -327,11 +348,17 @@ func (e *Engine) weightFor(tenant string) int {
 // exec selects the processing resources for one run: the engine's
 // shared pool when present (registered with the pool's weighted
 // scheduler under ctx's tenant and weight), else transient per-run
-// workers.
-func (e *Engine) exec(ctx context.Context, opt Options) pipeline.Exec {
+// workers. data is the run's input bytes; its mapping identity becomes
+// the pass's scheduler locality key.
+func (e *Engine) exec(ctx context.Context, opt Options, data []byte) pipeline.Exec {
 	if e != nil && e.pool != nil {
 		tenant := admission.Tenant(ctx)
-		return pipeline.Exec{Pool: e.pool, Weight: e.weightFor(tenant), Label: tenant}
+		return pipeline.Exec{
+			Pool:   e.pool,
+			Weight: e.weightFor(tenant),
+			Label:  tenant,
+			Source: pipeline.SourceKey(data),
+		}
 	}
 	return pipeline.Exec{Workers: opt.workers()}
 }
@@ -403,7 +430,7 @@ func (e *Engine) runGeoJSONWith(ctx context.Context, data []byte, cfg *geojson.C
 		fold := geojson.NewFold(data, cfg, sink)
 		st, err := pipeline.RunCtx(ctx, data,
 			pipeline.FixedSplitter{BlockSize: opt.blockSize()},
-			e.exec(ctx, opt),
+			e.exec(ctx, opt, data),
 			func(b pipeline.Block) geojson.BlockResult {
 				return geojson.ProcessBlockFAT(data, b.Start, b.End, cfg)
 			},
@@ -423,7 +450,7 @@ func (e *Engine) runGeoJSONWith(ctx context.Context, data []byte, cfg *geojson.C
 		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 			geojson.FindFeatureBoundariesStream(input, opt.blockSize(), yield)
 		}),
-		e.exec(ctx, opt),
+		e.exec(ctx, opt, data),
 		func(b pipeline.Block) *geojson.PATBlockResult {
 			if b.Index == 0 {
 				return nil // header handled by the fold
@@ -460,7 +487,7 @@ func (e *Engine) runWKT(ctx context.Context, data []byte, opt Options, consume f
 		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 			wkt.SplitLinesStream(input, opt.blockSize(), yield)
 		}),
-		e.exec(ctx, opt),
+		e.exec(ctx, opt, data),
 		func(b pipeline.Block) frag {
 			var fr frag
 			fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {
@@ -506,7 +533,7 @@ func (e *Engine) runOSM(ctx context.Context, data []byte, opt Options, consume f
 		pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 			osmxml.SplitElementsStream(input, opt.blockSize(), yield)
 		}),
-		e.exec(ctx, opt),
+		e.exec(ctx, opt, data),
 		func(b pipeline.Block) frag {
 			var fr frag
 			fr.err = osmxml.ParseBlock(data, b.Start, b.End, &osmxml.Handler{
@@ -609,7 +636,7 @@ func (e *Engine) join(ctx context.Context, src Source, spec JoinSpec, opt Option
 	if err != nil {
 		return nil, nil, err
 	}
-	jcfg, done := e.joinConfig(ctx, &spec, opt, reparse)
+	jcfg, done := e.joinConfig(ctx, &spec, opt, reparse, pipeline.SourceKey(src.Bytes()))
 	pairs, jstats, err := join.Run(merged.Sets[0], merged.Sets[1], jcfg)
 	done()
 	if err != nil {
@@ -635,10 +662,11 @@ func (e *Engine) join(ctx context.Context, src Source, spec JoinSpec, opt Option
 // in-flight batch window. The sweep registers with the pool's weighted
 // scheduler under ctx's tenant — granted batch by batch by tenant
 // weight — and the release deregisters it.
-func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, reparse join.Reparser) (join.Config, func()) {
+func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, reparse join.Reparser, srcKey uint64) (join.Config, func()) {
 	cfg := join.Config{
 		Ctx:           ctx,
 		Predicate:     spec.Predicate,
+		KernelRefine:  spec.kernelEligible,
 		ReparseA:      reparse,
 		ReparseB:      reparse,
 		Workers:       opt.workers(),
@@ -655,7 +683,7 @@ func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, re
 		// before its accepted-but-ungranted batch tasks can run (the
 		// sweep's task group counts them) — drained tasks see the
 		// cancelled context and return immediately.
-		cfg.Handle = e.pool.Register(ctx, tenant, e.weightFor(tenant), pipeline.JoinPass)
+		cfg.Handle = e.pool.Register(ctx, tenant, e.weightFor(tenant), pipeline.JoinPass, srcKey)
 		cfg.Workers = e.pool.Size()
 		return cfg, cfg.Handle.Close
 	}
@@ -668,6 +696,7 @@ func (e *Engine) joinConfig(ctx context.Context, spec *JoinSpec, opt Options, re
 func (e *Engine) joinPartitionPhase(ctx context.Context, src Source, spec *JoinSpec, opt Options) (*query.PartitionSink, geom.Box, pipeline.Stats, error) {
 	if spec.Predicate == nil {
 		spec.Predicate = geom.Intersects
+		spec.kernelEligible = true
 	}
 	if spec.CellSize <= 0 {
 		spec.CellSize = 1
@@ -807,7 +836,7 @@ func (e *Engine) partitionPass(
 			pipeline.StreamSplitterFunc(func(input []byte, yield func(int64) bool) {
 				wkt.SplitLinesStream(input, opt.blockSize(), yield)
 			}),
-			e.exec(ctx, opt),
+			e.exec(ctx, opt, data),
 			func(b pipeline.Block) *fragOf {
 				fr := newFrag()
 				fr.err = wkt.EachLine(data, b.Start, b.End, func(line []byte, off int64) error {

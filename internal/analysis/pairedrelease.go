@@ -80,6 +80,9 @@ var acquireSpecs = []acquireSpec{
 	{call: "AcquireSpeculator", result: 0, errResult: -1,
 		releaseFuncs: []string{"ReleaseSpeculator"},
 		what:         "pooled lexer speculator"},
+	{call: "AcquireScratch", result: 0, errResult: -1,
+		releaseFuncs: []string{"ReleaseScratch"},
+		what:         "pooled refinement kernel scratch"},
 	// The sidecar file lifecycle: Load's read handle and Write's temp
 	// file must close on every path — a leaked temp handle also means
 	// the atomic-rename protocol left litter next to the source.

@@ -3,12 +3,15 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"atgis"
 	"atgis/internal/geom"
+	"atgis/internal/geom/kernel"
 	"atgis/internal/lexer"
 	"atgis/internal/query"
 	"atgis/internal/synth"
@@ -229,6 +232,56 @@ func Micro(cfg Config) []MicroResult {
 	})
 	jeng.Close()
 	out = append(out, microResult("EngineJoinStream", int64(len(jds.Data)), r))
+
+	// RefinementKernels: the branch-minimized batched point-in-polygon
+	// kernel against its scalar oracle at the refinement batch scale
+	// (4096 candidate points × a 64-vertex reference ring). Same
+	// arithmetic, same results — the pair measures what the SoA layout
+	// and the hoisted boundary pass buy on a dense batch, and gates this
+	// PR (kernel must hold ≥1.5× the scalar path).
+	{
+		const np, nv = 4096, 64
+		ring := make(geom.Ring, nv+1)
+		for i := 0; i < nv; i++ {
+			ang := 2 * math.Pi * float64(i) / nv
+			ring[i] = geom.Point{X: math.Cos(ang) * 40, Y: math.Sin(ang) * 40}
+		}
+		ring[nv] = ring[0]
+		poly := geom.Polygon{ring}
+		px := make([]float64, np)
+		py := make([]float64, np)
+		rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+		for i := range px {
+			px[i] = rng.Float64()*100 - 50
+			py[i] = rng.Float64()*100 - 50
+		}
+		var slab kernel.PolySlab
+		slab.SetPolygon(poly)
+		var loc kernel.LocateOut
+		batchBytes := int64(np * 2 * 8) // the coordinate slab one op streams
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kernel.LocateBatch(&slab, px, py, &loc)
+			}
+		})
+		out = append(out, microResult("RefinementKernels/kernel", batchBytes, r))
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				inside := 0
+				for k := 0; k < np; k++ {
+					if geom.LocatePointInPolygon(geom.Point{X: px[k], Y: py[k]}, poly) == geom.Inside {
+						inside++
+					}
+				}
+				if inside == 0 {
+					b.Fatal("no point landed inside")
+				}
+			}
+		})
+		out = append(out, microResult("RefinementKernels/scalar", batchBytes, r))
+	}
 
 	fm := microDataset(cfg, atgis.GeoJSON, formatN)
 	queryBench("Fig12Formats/GeoJSON-PAT", fm, aspec(), atgis.PAT)

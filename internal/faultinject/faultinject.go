@@ -23,6 +23,7 @@
 //	pipeline.split     once per splitter run (index = 0)
 //	pipeline.merge     one per folded block (index = block)
 //	join.batch         one per join cell-batch task (index = batch)
+//	kernel.batch       one per kernel-refined join cell-batch task (index = batch)
 //	admission.acquire  one per admission Acquire (index = 0)
 //	sidecar.load       one per sidecar index read (label = source file)
 //	sidecar.write      one per sidecar persist attempt (label = source file)

@@ -1,0 +1,64 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"atgis/internal/geom"
+)
+
+// benchFixture builds the same shape the RefinementKernels microbench in
+// internal/experiments uses: a 64-vertex convex ring and 4096 probe
+// points spread so roughly half land inside — the scale at which the
+// join and query paths hand batches to the kernel.
+func benchFixture() (geom.Polygon, []float64, []float64) {
+	const np, nv = 4096, 64
+	ring := make(geom.Ring, nv+1)
+	for i := 0; i < nv; i++ {
+		ang := 2 * math.Pi * float64(i) / nv
+		ring[i] = geom.Point{X: math.Cos(ang) * 40, Y: math.Sin(ang) * 40}
+	}
+	ring[nv] = ring[0]
+	rng := rand.New(rand.NewSource(7))
+	px := make([]float64, np)
+	py := make([]float64, np)
+	for i := range px {
+		px[i] = rng.Float64()*100 - 50
+		py[i] = rng.Float64()*100 - 50
+	}
+	return geom.Polygon{ring}, px, py
+}
+
+func BenchmarkLocateBatch(b *testing.B) {
+	poly, px, py := benchFixture()
+	var slab PolySlab
+	if !slab.SetPolygon(poly) {
+		b.Fatal("SetPolygon rejected fixture")
+	}
+	var out LocateOut
+	b.SetBytes(int64(len(px) * 2 * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocateBatch(&slab, px, py, &out)
+	}
+}
+
+func BenchmarkLocateScalar(b *testing.B) {
+	poly, px, py := benchFixture()
+	b.SetBytes(int64(len(px) * 2 * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inside := 0
+		for k := range px {
+			if geom.LocatePointInPolygon(geom.Point{X: px[k], Y: py[k]}, poly) == geom.Inside {
+				inside++
+			}
+		}
+		if inside == 0 {
+			b.Fatal("no point landed inside")
+		}
+	}
+}

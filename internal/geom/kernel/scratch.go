@@ -1,0 +1,37 @@
+package kernel
+
+import "sync"
+
+// Scratch bundles the slabs and result vectors one refinement batch
+// needs: the prepared edge slab (the side that meets many partners —
+// the other side streams against it unmaterialised), the point arrays
+// and locate output of the Within vertex fold, and the MBR slab + hit
+// bitset of the fused box prefilter. All backing arrays grow to the
+// batch's high-water mark and are retained, so steady-state refinement
+// allocates nothing — which is what keeps the //atgis:hotpath kernels
+// inside the hotalloc budget.
+type Scratch struct {
+	A      EdgeSlab
+	Poly   PolySlab
+	Boxes  BoxSlab
+	Hits   Bitset
+	PX, PY []float64
+	Loc    LocateOut
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// AcquireScratch returns a pooled Scratch ready for use. Every
+// acquisition must be paired with ReleaseScratch when the batch (or
+// the owning sweep state) is done — the pairing is enforced by
+// atgis-lint's pairedrelease analyzer.
+func AcquireScratch() *Scratch {
+	return scratchPool.Get().(*Scratch)
+}
+
+// ReleaseScratch returns s to the pool. nil is a no-op.
+func ReleaseScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}

@@ -22,6 +22,14 @@ func onSegment(a, b, p Point) bool {
 		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
 }
 
+// PointOnSegment reports whether p lies on segment ab (collinear and
+// within its bounding box). This is the exact per-edge boundary test of
+// LocatePointInRing, exported so the batched kernels' rare-path boundary
+// pass shares the scalar arithmetic bit for bit.
+func PointOnSegment(a, b, p Point) bool {
+	return Orientation(a, b, p) == 0 && onSegment(a, b, p)
+}
+
 // SegmentsIntersect reports whether segments ab and cd share any point,
 // including endpoint touches and collinear overlap.
 func SegmentsIntersect(a, b, c, d Point) bool {
@@ -84,25 +92,46 @@ const (
 	Inside     PointLocation = 1
 )
 
+// EffectiveRing returns the vertex span of r whose edge cycle the
+// point-location loop walks: every trailing repetition of the first
+// vertex is dropped (rings from lax producers may close more than once,
+// i.e. repeat the first vertex at the end several times), so the wrap
+// edge (last, first) is the real closing edge rather than a zero-length
+// stub. Repetitions of the first vertex strictly mid-ring are kept —
+// they are genuine (degenerate but harmless) vertices of the cycle. ok
+// is false when fewer than 3 vertices remain. The batched refinement
+// kernels fill their coordinate slabs from the same span, which is what
+// makes kernel and scalar edge sets identical by construction.
+func EffectiveRing(r Ring) (Ring, bool) {
+	n := len(r)
+	// Extra closings beyond the first: only strip while at least three
+	// vertices survive the final closing-vertex skip below, so maximally
+	// degenerate rings like [A,B,A,A] keep their historical edge cycle.
+	for n > 4 && r[0].Equal(r[n-1]) && r[0].Equal(r[n-2]) {
+		n--
+	}
+	if n >= 3 && r[0].Equal(r[n-1]) {
+		n-- // skip the duplicate closing vertex
+	}
+	if n < 3 {
+		return nil, false
+	}
+	return r[:n], true
+}
+
 // LocatePointInRing classifies p against the ring using the crossing
 // number method with boundary detection. The ring need not be explicitly
-// closed.
+// closed, and may close redundantly (trailing repeats of the first
+// vertex are ignored — see EffectiveRing).
 func LocatePointInRing(p Point, r Ring) PointLocation {
-	n := len(r)
-	if n < 3 {
+	eff, ok := EffectiveRing(r)
+	if !ok {
 		return Outside
 	}
 	inside := false
-	j := n - 1
-	if r[0].Equal(r[n-1]) {
-		j = n - 2 // skip duplicate closing vertex
-		n--
-		if n < 3 {
-			return Outside
-		}
-	}
-	for i := 0; i < n; i++ {
-		a, b := r[j], r[i]
+	j := len(eff) - 1
+	for i := 0; i < len(eff); i++ {
+		a, b := eff[j], eff[i]
 		if Orientation(a, b, p) == 0 && onSegment(a, b, p) {
 			return OnBoundary
 		}
@@ -272,6 +301,22 @@ func Intersects(a, b Geometry) bool {
 	}
 	return false
 }
+
+// IsAreal reports whether g has polygonal area (polygon, multipolygon,
+// or a collection containing one). Exported for the batched refinement
+// kernels, whose composite predicates replicate Intersects' structure
+// outside this package.
+func IsAreal(g Geometry) bool { return isAreal(g) }
+
+// CoversPoint reports whether p is inside or on the boundary of g (for
+// areal g) or on g (for lineal/point g) — the containment probe of
+// Intersects, exported for the batched refinement kernels.
+func CoversPoint(g Geometry, p Point) bool { return geometryCoversPoint(g, p) }
+
+// RepresentativePoint returns the vertex Intersects uses as the
+// containment probe sample for g (its first visited vertex), exported
+// for the batched refinement kernels.
+func RepresentativePoint(g Geometry) (Point, bool) { return anyPoint(g) }
 
 func isAreal(g Geometry) bool {
 	switch t := g.(type) {

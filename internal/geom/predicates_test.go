@@ -388,3 +388,87 @@ func TestInteriorProbe(t *testing.T) {
 		t.Errorf("probe %v not inside holed polygon", p)
 	}
 }
+
+func TestEffectiveRing(t *testing.T) {
+	a, b, c, d := Point{0, 0}, Point{10, 0}, Point{10, 10}, Point{0, 10}
+	tests := []struct {
+		name string
+		ring Ring
+		want int // effective vertex count; 0 = not ok
+	}{
+		{"open", Ring{a, b, c, d}, 4},
+		{"closed", Ring{a, b, c, d, a}, 4},
+		{"double-closed", Ring{a, b, c, d, a, a}, 4},
+		{"triple-closed", Ring{a, b, c, d, a, a, a}, 4},
+		{"first-vertex-mid-ring", Ring{a, b, a, c, d, a}, 5},
+		{"too-small", Ring{a, b}, 0},
+		{"closed-triangle-degenerate", Ring{a, b, a}, 0},
+		// Maximally degenerate rings keep their historical 3-vertex cycle
+		// rather than collapsing below the minimum.
+		{"degenerate-kept", Ring{a, b, a, a}, 3},
+		{"all-same-closed", Ring{a, a, a, a}, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			eff, ok := EffectiveRing(tc.ring)
+			if tc.want == 0 {
+				if ok {
+					t.Fatalf("EffectiveRing = %v, want not ok", eff)
+				}
+				return
+			}
+			if !ok || len(eff) != tc.want {
+				t.Fatalf("EffectiveRing = %v ok=%v, want %d vertices", eff, ok, tc.want)
+			}
+		})
+	}
+}
+
+func TestLocatePointInRingDuplicateVertices(t *testing.T) {
+	// Rings that close redundantly or repeat the first vertex mid-ring
+	// must classify exactly like the clean form (satellite regression:
+	// only the single final closing vertex used to be skipped).
+	clean := Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	variants := map[string]Ring{
+		"closed":                {{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}},
+		"double-closed":         {{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}, {0, 0}},
+		"triple-closed":         {{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}, {0, 0}, {0, 0}},
+		"consecutive-duplicate": {{0, 0}, {10, 0}, {10, 0}, {10, 10}, {0, 10}},
+	}
+	pts := []Point{
+		{5, 5}, {-1, 5}, {11, 5}, {0, 0}, {10, 10}, {5, 0}, {0, 5},
+		{0.0001, 0.0001}, {-0.0001, 0}, {5, 10}, {5, 10.0001},
+	}
+	for name, ring := range variants {
+		for _, p := range pts {
+			want := LocatePointInRing(p, clean)
+			if got := LocatePointInRing(p, ring); got != want {
+				t.Errorf("%s: LocatePointInRing(%v) = %v, want %v", name, p, got, want)
+			}
+		}
+	}
+	// First vertex repeated strictly mid-ring: a pinched shape; the mid
+	// repeat is a genuine vertex, boundary passes through it.
+	pinched := Ring{{0, 0}, {10, 0}, {0, 0}, {10, 10}, {0, 10}, {0, 0}}
+	if got := LocatePointInRing(Point{5, 0}, pinched); got != OnBoundary {
+		t.Errorf("pinched: edge point = %v, want OnBoundary", got)
+	}
+	if got := LocatePointInRing(Point{0, 0}, pinched); got != OnBoundary {
+		t.Errorf("pinched: repeated vertex = %v, want OnBoundary", got)
+	}
+	// Degenerate [A,B,A,A]: p on segment AB stays OnBoundary (the cycle
+	// must not collapse below three vertices).
+	if got := LocatePointInRing(Point{5, 0}, Ring{{0, 0}, {10, 0}, {0, 0}, {0, 0}}); got != OnBoundary {
+		t.Errorf("[A,B,A,A]: point on AB = %v, want OnBoundary", got)
+	}
+}
+
+func TestPointOnSegment(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	if !PointOnSegment(a, b, Point{5, 0}) || !PointOnSegment(a, b, a) || !PointOnSegment(a, b, b) {
+		t.Error("points on segment not detected")
+	}
+	if PointOnSegment(a, b, Point{11, 0}) || PointOnSegment(a, b, Point{5, 1}) {
+		t.Error("points off segment detected")
+	}
+}

@@ -36,11 +36,13 @@ package join
 
 import (
 	"context"
+	"math/bits"
 	"sort"
 	"sync"
 
 	"atgis/internal/faultinject"
 	"atgis/internal/geom"
+	"atgis/internal/geom/kernel"
 	"atgis/internal/partition"
 	"atgis/internal/pipeline"
 )
@@ -62,6 +64,12 @@ type Reparser func(off int64) (geom.Geometry, error)
 // quantum stays small enough that a concurrent pass waits at most one
 // batch for its next worker grant.
 const DefaultBatchCells = 256
+
+// kernelBoxBatchMin is the smallest B-side cell population worth a
+// batched MBR prefilter sweep: below one bitset word of boxes, the
+// kernel call and bitset reset per A entry cost more than the scalar
+// nest's early-out compares.
+const kernelBoxBatchMin = 64
 
 // Config controls join execution.
 type Config struct {
@@ -103,6 +111,15 @@ type Config struct {
 	// trading bounded buffering and lookahead for a stable stream
 	// order. Ignored by Run, which globally sorts anyway.
 	OrderWindow int
+	// KernelRefine routes the MBR compare and REFINE stages through the
+	// batched slab kernels (internal/geom/kernel): per cell, the B side's
+	// MBRs fill a struct-of-arrays slab tested by one fused BoxFilterBatch
+	// sweep per A entry, and refinement runs IntersectsPreparedA with the
+	// A geometry's edge slab filled once per offset-sorted run. Only valid
+	// when Predicate is geom.Intersects (the engine sets it exactly when
+	// it defaulted the predicate); results are bit-identical to the scalar
+	// path. Ignored while kernel.Disabled().
+	KernelRefine bool
 	// CellLo / CellHi restrict the sweep to the grid-cell band
 	// [CellLo, CellHi) — the join's unit of horizontal sharding: the
 	// reference-point dedup makes each pair owned by exactly one cell, so
@@ -220,6 +237,11 @@ type sweepState struct {
 	cache *geomCache
 	pairs []Pair
 	st    Stats
+	// kern is the pooled kernel scratch, acquired lazily by the first
+	// kernel-refined batch this state runs and released when the sweep's
+	// merge loop retires the state (sweep states outlive individual
+	// batches, so the slab high-water marks carry across batches too).
+	kern *kernel.Scratch
 }
 
 func (s *sweep) acquire() *sweepState {
@@ -300,6 +322,9 @@ func (s *sweep) task(idx, start, end int) {
 		return
 	}
 	st := s.acquire()
+	if s.cfg.KernelRefine && !kernel.Disabled() && st.kern == nil {
+		st.kern = kernel.AcquireScratch() //lint:atgis-allow pairedrelease the scratch outlives this batch by design: run's merge loop releases every state's scratch exactly once
+	}
 	if s.seq != nil {
 		// Ordered mode detaches the pair buffer into the sequencer per
 		// batch; start from a recycled one instead of growing fresh.
@@ -315,11 +340,14 @@ func (s *sweep) task(idx, start, end int) {
 	// granting the batch, and every other pass on it, are unaffected.
 	if err := pipeline.Guarded(s.label, "join-batch", idx, func() {
 		faultinject.Fire("join.batch", s.label, int64(idx))
+		if st.kern != nil {
+			faultinject.Fire("kernel.batch", s.label, int64(idx))
+		}
 		for c := start; c < end; c++ {
 			if (c-start)&63 == 0 && s.cancelled() {
 				break
 			}
-			if err := joinCell(s.a, s.b, s.cfg, c, st.cache, emit, &st.st); err != nil {
+			if err := joinCell(s.a, s.b, s.cfg, c, st.cache, st.kern, emit, &st.st); err != nil {
 				s.fail(err)
 				break
 			}
@@ -417,6 +445,10 @@ func run(a, b *partition.Set, cfg Config, stream func(Pair)) ([]Pair, Stats, err
 		st.Duplicates += ss.st.Duplicates
 		st.Reparses += ss.st.Reparses
 		st.CacheHits += ss.st.CacheHits
+		if ss.kern != nil {
+			kernel.ReleaseScratch(ss.kern)
+			ss.kern = nil
+		}
 		if stream == nil {
 			all = append(all, ss.pairs...)
 		}
@@ -514,8 +546,10 @@ func (s *sequencer) done(idx int, pairs []Pair) {
 	s.wake = make(chan struct{})
 }
 
-// joinCell joins one partition cell, reporting pairs through emit.
-func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, emit func(Pair), st *Stats) error {
+// joinCell joins one partition cell, reporting pairs through emit. With
+// ks non-nil the MBR compare and the refinement both run through the
+// batched slab kernels; results are bit-identical either way.
+func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, ks *kernel.Scratch, emit func(Pair), st *Stats) error {
 	ea := a.Cell(c)
 	eb := b.Cell(c)
 	if len(ea) == 0 || len(eb) == 0 {
@@ -541,6 +575,13 @@ func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, emit fun
 				}
 				st.Reparses++
 				curOff, curGeom = cd.aOff, g
+				if ks != nil {
+					// One slab fill per run of adjacent candidates — the
+					// sort above is what makes runs long, so the prepared
+					// A side amortises across every B it meets.
+					ks.A.Reset()
+					ks.A.AppendGeometry(curGeom)
+				}
 			}
 			gb, hit, err := cache.get(cd.bOff, cfg.ReparseB)
 			if err != nil {
@@ -551,8 +592,14 @@ func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, emit fun
 			} else {
 				st.Reparses++
 			}
-			// REFINE: exact predicate.
-			if cfg.Predicate(curGeom, gb) {
+			// REFINE: exact predicate (batched when kernel-refined).
+			refined := false
+			if ks != nil {
+				refined = kernel.IntersectsPreparedA(curGeom, &ks.A, gb, ks)
+			} else {
+				refined = cfg.Predicate(curGeom, gb)
+			}
+			if refined {
 				emit(Pair{AID: cd.aID, BID: cd.bID, AOff: cd.aOff, BOff: cd.bOff})
 				st.Refined++
 			}
@@ -563,23 +610,57 @@ func joinCell(a, b *partition.Set, cfg Config, c int, cache *geomCache, emit fun
 		cache.clear()
 		return nil
 	}
+	// consider applies dedup ownership and candidate accounting to one
+	// MBR-intersecting pair; shared by the scalar and batched compares.
+	consider := func(x, y partition.Entry) error {
+		if cfg.refPointDedup && !ownsPair(a.Grid, c, x.Box, y.Box) {
+			// Another cell owns this pair's reference point and will
+			// report it; skip the duplicate before refinement.
+			st.Duplicates++
+			return nil
+		}
+		st.Candidates++
+		cands = append(cands, candidate{aOff: x.Off, bOff: y.Off, aID: x.ID, bID: y.ID})
+		if cfg.SortThreshold > 0 && len(cands) >= cfg.SortThreshold {
+			return flush()
+		}
+		return nil
+	}
+	if ks != nil && len(eb) >= kernelBoxBatchMin {
+		// Fused MBR prefilter: the B side's boxes fill a slab once per
+		// cell, then every A entry tests all of them in one branch-free
+		// sweep; surviving bits are visited in eb order, so candidate
+		// order and counters match the scalar nest exactly. Cells with
+		// few B entries take the scalar nest below — a per-A-entry
+		// kernel call plus bitset reset costs more than a handful of
+		// early-out box compares (refinement still runs batched either
+		// way; both nests produce identical candidates).
+		ks.Boxes.Reset()
+		for _, y := range eb {
+			ks.Boxes.Append(y.Box)
+		}
+		for _, x := range ea {
+			kernel.BoxFilterBatch(x.Box, &ks.Boxes, &ks.Hits)
+			for w, word := range ks.Hits {
+				base := w << 6
+				for word != 0 {
+					yi := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					if err := consider(x, eb[yi]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return flush()
+	}
 	for _, x := range ea {
 		for _, y := range eb {
 			if !x.Box.Intersects(y.Box) {
 				continue
 			}
-			if cfg.refPointDedup && !ownsPair(a.Grid, c, x.Box, y.Box) {
-				// Another cell owns this pair's reference point and will
-				// report it; skip the duplicate before refinement.
-				st.Duplicates++
-				continue
-			}
-			st.Candidates++
-			cands = append(cands, candidate{aOff: x.Off, bOff: y.Off, aID: x.ID, bID: y.ID})
-			if cfg.SortThreshold > 0 && len(cands) >= cfg.SortThreshold {
-				if err := flush(); err != nil {
-					return err
-				}
+			if err := consider(x, y); err != nil {
+				return err
 			}
 		}
 	}

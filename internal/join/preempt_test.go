@@ -71,9 +71,9 @@ func TestJoinWeightedBatchConvergence(t *testing.T) {
 
 	lightCtx, stopLight := context.WithCancel(context.Background())
 	defer stopLight()
-	light := pool.Register(lightCtx, "light", 1, pipeline.JoinPass)
+	light := pool.Register(lightCtx, "light", 1, pipeline.JoinPass, 0)
 	defer light.Close()
-	heavy := pool.Register(context.Background(), "heavy", 3, pipeline.JoinPass)
+	heavy := pool.Register(context.Background(), "heavy", 3, pipeline.JoinPass, 0)
 	defer heavy.Close()
 
 	var lightAtHeavyStart, lightAtHeavyDone atomic.Int64
@@ -153,7 +153,7 @@ func TestJoinDoesNotStarveQueryPass(t *testing.T) {
 	joinDone := make(chan struct{})
 	joinStarted := make(chan struct{})
 	var once sync.Once
-	handle := pool.Register(context.Background(), "join", 1, pipeline.JoinPass)
+	handle := pool.Register(context.Background(), "join", 1, pipeline.JoinPass, 0)
 	go func() {
 		defer close(joinDone)
 		defer handle.Close()
@@ -210,7 +210,7 @@ func TestJoinCancelFreesSlots(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	doomed := pool.Register(ctx, "doomed", 1, pipeline.JoinPass)
+	doomed := pool.Register(ctx, "doomed", 1, pipeline.JoinPass, 0)
 	var granted atomic.Int64
 	doomedDone := make(chan error, 1)
 	go func() {
@@ -231,7 +231,7 @@ func TestJoinCancelFreesSlots(t *testing.T) {
 		doomedDone <- err
 	}()
 
-	survivor := pool.Register(context.Background(), "survivor", 1, pipeline.JoinPass)
+	survivor := pool.Register(context.Background(), "survivor", 1, pipeline.JoinPass, 0)
 	var pairs atomic.Int64
 	_, err := RunStream(sa, sb, Config{
 		Ctx:       context.Background(),

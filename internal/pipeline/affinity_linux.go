@@ -1,0 +1,43 @@
+//go:build linux
+
+package pipeline
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// pinWorkerCPU pins the calling worker goroutine to CPU (id mod NumCPU):
+// the goroutine is locked to its OS thread and the thread's affinity
+// mask is narrowed to that one CPU with a raw sched_setaffinity on tid 0
+// (the calling thread). Returns whether the pin took effect; on failure
+// the thread lock is released and the worker runs unpinned — pinning is
+// an optimisation, never a requirement.
+//
+// The thread stays locked for the worker's lifetime: an unlocked thread
+// returns to the scheduler's pool and would carry the narrowed mask to
+// whichever goroutine lands on it next.
+func pinWorkerCPU(id int) bool {
+	ncpu := runtime.NumCPU()
+	if ncpu < 1 {
+		return false
+	}
+	runtime.LockOSThread()
+	cpu := id % ncpu
+	// 1024-bit mask: the kernel accepts any size covering its cpumask;
+	// 16 words cover every configuration this code will meet.
+	var mask [16]uint64
+	mask[(cpu/64)%len(mask)] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0, // tid 0 = the calling thread
+		uintptr(len(mask)*8),
+		uintptr(unsafe.Pointer(&mask[0])),
+	)
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return false
+	}
+	return true
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package pipeline
+
+// pinWorkerCPU is a no-op outside Linux: CPU affinity is not portable,
+// and the locality tie-break degrades gracefully without it (workers
+// still prefer warm mappings, the OS just may migrate them).
+func pinWorkerCPU(int) bool { return false }

@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"runtime/metrics"
 	"time"
+	"unsafe"
 
 	"atgis/internal/faultinject"
 )
@@ -220,6 +221,24 @@ type Exec struct {
 	// Label names the run in the pool's scheduler stats (engines pass
 	// the tenant; ignored without Pool).
 	Label string
+	// Source is the run's source-mapping key (SourceKey of the input
+	// bytes; 0 = unknown). The pool's scheduler uses it to break
+	// exact virtual-time ties toward the pass whose mapping the freed
+	// worker last streamed (ignored without Pool).
+	Source uint64
+}
+
+// SourceKey derives a scheduler locality key from a run's input bytes:
+// the address of the first mapped byte, which identifies the backing
+// mmap (or heap buffer) for the run's lifetime — runs over the same
+// mapping share a key, distinct mappings collide only after an unmap.
+// Empty inputs return 0 (no key). The address is used purely as an
+// opaque identity and never dereferenced.
+func SourceKey(data []byte) uint64 {
+	if len(data) == 0 {
+		return 0
+	}
+	return uint64(uintptr(unsafe.Pointer(&data[0])))
 }
 
 func (e Exec) workers() int {
@@ -328,7 +347,7 @@ func RunCtx[R any](
 		// cancellation alike — returning its share to the pool. Submit
 		// never blocks; the bounded order channel below is what paces
 		// the splitter against the workers.
-		handle := exec.Pool.Register(ctx, exec.Label, exec.Weight, QueryPass)
+		handle := exec.Pool.Register(ctx, exec.Label, exec.Weight, QueryPass, exec.Source)
 		defer handle.Close()
 		submit = func(it *item[R]) bool {
 			if ctx.Err() == nil && handle.Submit(func() { run(it) }) {

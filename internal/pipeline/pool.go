@@ -26,26 +26,42 @@ var ErrPoolClosed = errors.New("pipeline: worker pool closed during run")
 // proportional to their weights, while idle share redistributes
 // work-conservingly; a sole pass uses the whole pool.
 type Pool struct {
-	s    *sched
-	size int
-	busy atomic.Int64
-	wg   sync.WaitGroup
-	once sync.Once
+	s      *sched
+	size   int
+	busy   atomic.Int64
+	pinned atomic.Int64
+	wg     sync.WaitGroup
+	once   sync.Once
 }
 
 // NewPool starts a pool of size worker goroutines (GOMAXPROCS when
 // size <= 0).
 func NewPool(size int) *Pool {
+	return NewPoolPinned(size, false)
+}
+
+// NewPoolPinned is NewPool with optional CPU-affinity pinning: with pin
+// set, each worker locks its goroutine to an OS thread and pins that
+// thread to CPU (worker id mod NumCPU) so the scheduler's locality
+// tie-break — which keeps a worker on the source mapping it last
+// touched — also keeps the mapping's cache-resident pages on one core.
+// Pinning is best-effort (Linux sched_setaffinity behind a build tag, a
+// no-op elsewhere); workers whose pin fails run unpinned and the pool
+// still works. Pinned reports how many pins took effect.
+func NewPoolPinned(size int, pin bool) *Pool {
 	if size < 1 {
 		size = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{s: newSched(), size: size}
 	p.wg.Add(size)
 	for i := 0; i < size; i++ {
-		go func() {
+		go func(id int) {
 			defer p.wg.Done()
+			if pin && pinWorkerCPU(id) {
+				p.pinned.Add(1)
+			}
 			for {
-				f := p.s.next()
+				f := p.s.next(id)
 				if f == nil {
 					return
 				}
@@ -53,7 +69,7 @@ func NewPool(size int) *Pool {
 				runShielded(f)
 				p.busy.Add(-1)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
@@ -79,20 +95,27 @@ func (p *Pool) Size() int { return p.size }
 // cell batch), so residency is bounded by the quantum.
 func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
+// Pinned returns how many workers are successfully pinned to a CPU
+// (always 0 for NewPool pools and on platforms without affinity
+// support).
+func (p *Pool) Pinned() int { return int(p.pinned.Load()) }
+
 // Register adds a pass to the pool's weighted scheduler: label names it
 // in SchedSnapshot (engines pass the tenant), weight is its
 // proportional share (clamped to a minimum of 1), kind classifies its
-// tasks for the snapshot's block-vs-cell-batch counters. The caller
-// must Close the handle when the pass completes — including on
-// cancellation — so its queue and share return to the pool.
+// tasks for the snapshot's block-vs-cell-batch counters, and src is the
+// pass's source-mapping key (SourceKey; 0 = unknown) feeding the
+// locality tie-break. The caller must Close the handle when the pass
+// completes — including on cancellation — so its queue and share
+// return to the pool.
 //
 // When ctx is cancellable, a watcher reclaims the pass's queued tasks
 // inline (Drain) the moment ctx is cancelled: a cancelled pass must
 // never depend on pool workers becoming free to observe its queue —
 // a slot could be held by another pass's task for a whole quantum.
 // Close stops the watcher.
-func (p *Pool) Register(ctx context.Context, label string, weight int, kind PassKind) *PassHandle {
-	h := p.s.register(label, weight, kind)
+func (p *Pool) Register(ctx context.Context, label string, weight int, kind PassKind, src uint64) *PassHandle {
+	h := p.s.register(label, weight, kind, src)
 	if ctx != nil {
 		if done := ctx.Done(); done != nil {
 			h.watch = make(chan struct{})

@@ -60,10 +60,15 @@ const (
 // also on cancellation — so the pass deregisters and its share returns
 // to the pool.
 type PassHandle struct {
-	s        *sched
-	label    string
-	weight   int
-	kind     PassKind
+	s      *sched
+	label  string
+	weight int
+	kind   PassKind
+	// src identifies the source mapping this pass reads (0 = unknown):
+	// the locality tie-break prefers granting a worker a pass whose src
+	// matches the worker's previous grant, so a worker keeps streaming
+	// the mapping whose pages are warm in its cache hierarchy.
+	src      uint64
 	vtime    float64
 	queue    []func()
 	granted  uint64
@@ -226,8 +231,16 @@ type sched struct {
 	vclock           float64
 	totalGranted     uint64
 	totalGrantedJoin uint64
-	labels           map[string]*labelCount
-	closed           bool
+	// lastSrc records, per worker id, the source mapping of the worker's
+	// most recent grant (grown lazily; workers with id < 0 — tests
+	// driving grants directly — are never recorded). locHits counts
+	// grants whose pass matched the worker's previous mapping, locMisses
+	// grants with a known mapping that switched the worker elsewhere.
+	lastSrc   []uint64
+	locHits   uint64
+	locMisses uint64
+	labels    map[string]*labelCount
+	closed    bool
 	// now supplies the unix second for the recent-grant window;
 	// replaceable so tests can drive decay deterministically.
 	now func() int64
@@ -243,14 +256,15 @@ func newSched() *sched {
 }
 
 // register adds a pass with the given label, weight (clamped to a
-// minimum of 1) and kind, entering at the current virtual clock.
-func (s *sched) register(label string, weight int, kind PassKind) *PassHandle {
+// minimum of 1), kind and source-mapping key (0 = unknown), entering at
+// the current virtual clock.
+func (s *sched) register(label string, weight int, kind PassKind, src uint64) *PassHandle {
 	if weight < 1 {
 		weight = 1
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h := &PassHandle{s: s, label: label, weight: weight, kind: kind, vtime: s.vclock}
+	h := &PassHandle{s: s, label: label, weight: weight, kind: kind, src: src, vtime: s.vclock}
 	s.passes = append(s.passes, h)
 	lc := s.labels[label]
 	if lc == nil {
@@ -265,13 +279,30 @@ func (s *sched) register(label string, weight int, kind PassKind) *PassHandle {
 // (ties break toward the earliest-registered pass), pops its head task
 // and advances its virtual time by one stride. Returns nil when no pass
 // has queued work.
-func (s *sched) pickLocked() func() {
+//
+// worker is the requesting worker's id (-1 when unknown, e.g. tests
+// driving grants directly). Among passes at *exactly* the minimal
+// virtual time — where stride fairness is indifferent — the pick
+// prefers the pass whose source mapping the worker's previous grant
+// touched, so workers keep streaming warm mappings. A pass with src 0
+// never matches, and an unequal vtime is never overridden: the
+// tie-break can only reorder grants stride scheduling already considers
+// equivalent, so proportional shares and grant determinism without
+// source keys are unchanged.
+func (s *sched) pickLocked(worker int) func() {
+	var last uint64
+	if worker >= 0 && worker < len(s.lastSrc) {
+		last = s.lastSrc[worker]
+	}
 	var best *PassHandle
 	for _, h := range s.passes {
 		if len(h.queue) == 0 {
 			continue
 		}
-		if best == nil || h.vtime < best.vtime {
+		switch {
+		case best == nil || h.vtime < best.vtime:
+			best = h
+		case h.vtime == best.vtime && last != 0 && h.src == last && best.src != last:
 			best = h
 		}
 	}
@@ -285,6 +316,19 @@ func (s *sched) pickLocked() func() {
 	best.vtime += 1 / float64(best.weight)
 	best.granted++
 	s.totalGranted++
+	if worker >= 0 && best.src != 0 {
+		if best.src == last {
+			s.locHits++
+		} else {
+			s.locMisses++
+		}
+		if worker >= len(s.lastSrc) {
+			grown := make([]uint64, worker+1)
+			copy(grown, s.lastSrc)
+			s.lastSrc = grown
+		}
+		s.lastSrc[worker] = best.src
+	}
 	if best.kind == JoinPass {
 		s.totalGrantedJoin++
 	}
@@ -300,12 +344,12 @@ func (s *sched) pickLocked() func() {
 
 // next blocks until a task is grantable (returning it) or the scheduler
 // is closed with all queues drained (returning nil). Pool workers loop
-// on it.
-func (s *sched) next() func() {
+// on it, passing their worker id for the locality tie-break.
+func (s *sched) next(worker int) func() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if f := s.pickLocked(); f != nil {
+		if f := s.pickLocked(worker); f != nil {
 			return f
 		}
 		if s.closed {
@@ -362,6 +406,12 @@ type SchedStats struct {
 	TotalGranted uint64
 	// TotalGrantedBatches is the join cell-batch subset of TotalGranted.
 	TotalGrantedBatches uint64
+	// LocalityHits counts grants (of passes with a known source mapping)
+	// that kept the worker on the mapping its previous grant touched;
+	// LocalityMisses counts the ones that switched it. Their ratio is
+	// the dispatch-locality gauge surfaced by /v1/stats.
+	LocalityHits   uint64
+	LocalityMisses uint64
 	// Passes aggregates the currently registered passes by label.
 	Passes []PassStats
 }
@@ -371,7 +421,12 @@ type SchedStats struct {
 func (s *sched) snapshot() SchedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := SchedStats{TotalGranted: s.totalGranted, TotalGrantedBatches: s.totalGrantedJoin}
+	st := SchedStats{
+		TotalGranted:        s.totalGranted,
+		TotalGrantedBatches: s.totalGrantedJoin,
+		LocalityHits:        s.locHits,
+		LocalityMisses:      s.locMisses,
+	}
 	now := s.now()
 	byLabel := make(map[string]int, len(s.labels))
 	for _, h := range s.passes {

@@ -17,7 +17,7 @@ import (
 // pool workers, so grant sequences are fully deterministic.
 func grant(s *sched) bool {
 	s.mu.Lock()
-	f := s.pickLocked()
+	f := s.pickLocked(-1)
 	s.mu.Unlock()
 	if f == nil {
 		return false
@@ -42,8 +42,8 @@ func enqueue(t *testing.T, h *PassHandle, n int, got *[]string) {
 // receive grants in exactly that proportion, FIFO within each pass.
 func TestSchedStrideProportionalShare(t *testing.T) {
 	s := newSched()
-	a := s.register("a", 1, QueryPass)
-	b := s.register("b", 3, QueryPass)
+	a := s.register("a", 1, QueryPass, 0)
+	b := s.register("b", 3, QueryPass, 0)
 	var got []string
 	enqueue(t, a, 100, &got)
 	enqueue(t, b, 100, &got)
@@ -77,8 +77,8 @@ func TestSchedStrideProportionalShare(t *testing.T) {
 // low-weight pass alone receives every slot.
 func TestSchedWorkConserving(t *testing.T) {
 	s := newSched()
-	a := s.register("a", 1, QueryPass)
-	s.register("idle", 100, QueryPass)
+	a := s.register("a", 1, QueryPass, 0)
+	s.register("idle", 100, QueryPass, 0)
 	var got []string
 	enqueue(t, a, 10, &got)
 	for i := 0; i < 10; i++ {
@@ -96,8 +96,8 @@ func TestSchedWorkConserving(t *testing.T) {
 // "catch up" on grants it never queued for.
 func TestSchedActivationNoBurst(t *testing.T) {
 	s := newSched()
-	a := s.register("a", 1, QueryPass)
-	b := s.register("b", 1, QueryPass)
+	a := s.register("a", 1, QueryPass, 0)
+	b := s.register("b", 1, QueryPass, 0)
 	var got []string
 	enqueue(t, a, 100, &got)
 	for i := 0; i < 50; i++ {
@@ -121,8 +121,8 @@ func TestSchedActivationNoBurst(t *testing.T) {
 // one snapshot entry with summed queues and pass count.
 func TestSchedSameLabelAggregates(t *testing.T) {
 	s := newSched()
-	h1 := s.register("t", 4, QueryPass)
-	h2 := s.register("t", 4, QueryPass)
+	h1 := s.register("t", 4, QueryPass, 0)
+	h2 := s.register("t", 4, QueryPass, 0)
 	var got []string
 	enqueue(t, h1, 3, &got)
 	enqueue(t, h2, 2, &got)
@@ -149,7 +149,7 @@ func TestSchedSameLabelAggregates(t *testing.T) {
 // deregisters the pass.
 func TestSchedCloseDrainsQueue(t *testing.T) {
 	s := newSched()
-	h := s.register("x", 2, QueryPass)
+	h := s.register("x", 2, QueryPass, 0)
 	ran := 0
 	for i := 0; i < 4; i++ {
 		h.Submit(func() { ran++ })
@@ -394,7 +394,7 @@ func TestPoolCancelUnblocksWithoutWorkers(t *testing.T) {
 	pool := NewPool(2)
 	defer pool.Close()
 	release := make(chan struct{})
-	hold := pool.Register(context.Background(), "hog", 1, QueryPass)
+	hold := pool.Register(context.Background(), "hog", 1, QueryPass, 0)
 	defer hold.Close()
 	defer close(release) // unblock the hogs before the deferred closes
 	for i := 0; i < 2; i++ {
@@ -483,8 +483,8 @@ func TestSchedRecentWindowDecay(t *testing.T) {
 	s := newSched()
 	var clock int64
 	s.now = func() int64 { return clock }
-	a := s.register("a", 1, QueryPass)
-	b := s.register("b", 1, QueryPass)
+	a := s.register("a", 1, QueryPass, 0)
+	b := s.register("b", 1, QueryPass, 0)
 	var got []string
 
 	// t=0: tenant a bursts 40 grants.
@@ -546,8 +546,8 @@ func TestSchedRecentWindowDecay(t *testing.T) {
 // totals.
 func TestSchedJoinBatchCounters(t *testing.T) {
 	s := newSched()
-	q := s.register("t", 2, QueryPass)
-	j := s.register("t", 2, JoinPass)
+	q := s.register("t", 2, QueryPass, 0)
+	j := s.register("t", 2, JoinPass, 0)
 	var got []string
 	enqueue(t, q, 4, &got)
 	enqueue(t, j, 6, &got)
@@ -574,5 +574,137 @@ func TestSchedJoinBatchCounters(t *testing.T) {
 	}
 	if snap.TotalGranted != 10 || snap.TotalGrantedBatches != 6 {
 		t.Fatalf("totals = %d/%d, want 10/6", snap.TotalGranted, snap.TotalGrantedBatches)
+	}
+}
+
+// TestSchedLocalityTieBreak drives two equal-weight passes over
+// distinct source mappings with worker-attributed grants: at exactly
+// equal virtual times the scheduler must keep each worker on the
+// mapping of its previous grant, and the hit/miss counters must
+// account every grant of a keyed pass.
+func TestSchedLocalityTieBreak(t *testing.T) {
+	s := newSched()
+	a := s.register("a", 1, QueryPass, 100)
+	b := s.register("b", 1, QueryPass, 200)
+	var got []string
+	enqueue(t, a, 4, &got)
+	enqueue(t, b, 4, &got)
+
+	// Worker 0 takes a grant first: registration order breaks the fresh
+	// tie toward pass a, and the worker's lastSrc becomes a's mapping.
+	workerGrant := func(worker int) {
+		s.mu.Lock()
+		f := s.pickLocked(worker)
+		s.mu.Unlock()
+		if f == nil {
+			t.Fatalf("no task grantable")
+		}
+		f()
+	}
+	workerGrant(0)
+	// Worker 1's first grant must go to b (strictly smaller vtime now).
+	workerGrant(1)
+	// From here vtimes tie exactly after every grant pair; each worker
+	// must stay on its own mapping.
+	workerGrant(0)
+	workerGrant(1)
+	workerGrant(0)
+	workerGrant(1)
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i, l := range want {
+		if got[i] != l {
+			t.Fatalf("grant %d went to %q, want %q (full order %v)", i, got[i], l, got)
+		}
+	}
+
+	snap := s.snapshot()
+	// First grant of each worker has no previous mapping → miss; the
+	// four locality-held grants are hits.
+	if snap.LocalityHits != 4 || snap.LocalityMisses != 2 {
+		t.Fatalf("locality hits/misses = %d/%d, want 4/2", snap.LocalityHits, snap.LocalityMisses)
+	}
+}
+
+// TestSchedLocalityNeverOverridesFairness: the tie-break must not
+// prefer a warm mapping over a strictly smaller virtual time, and
+// passes without a source key (src 0) must never count as matches.
+func TestSchedLocalityNeverOverridesFairness(t *testing.T) {
+	s := newSched()
+	a := s.register("a", 1, QueryPass, 100)
+	b := s.register("b", 9, QueryPass, 200)
+	var got []string
+	enqueue(t, a, 2, &got)
+	enqueue(t, b, 18, &got)
+
+	for i := 0; i < 20; i++ {
+		s.mu.Lock()
+		f := s.pickLocked(0)
+		s.mu.Unlock()
+		if f == nil {
+			t.Fatalf("no task grantable at %d", i)
+		}
+		f()
+	}
+	counts := map[string]int{}
+	for _, l := range got {
+		counts[l]++
+	}
+	// Weighted shares hold exactly despite worker 0 sticking to one
+	// mapping whenever ties allow.
+	if counts["a"] != 2 || counts["b"] != 18 {
+		t.Fatalf("shares = %v, want a:2 b:18", counts)
+	}
+
+	s2 := newSched()
+	u := s2.register("u", 1, QueryPass, 0)
+	v := s2.register("v", 1, QueryPass, 0)
+	var got2 []string
+	enqueue(t, u, 2, &got2)
+	enqueue(t, v, 2, &got2)
+	for i := 0; i < 4; i++ {
+		s2.mu.Lock()
+		f := s2.pickLocked(0)
+		s2.mu.Unlock()
+		f()
+	}
+	snap := s2.snapshot()
+	if snap.LocalityHits != 0 || snap.LocalityMisses != 0 {
+		t.Fatalf("keyless passes counted: hits/misses = %d/%d, want 0/0",
+			snap.LocalityHits, snap.LocalityMisses)
+	}
+	// Keyless ties keep the historical registration-order determinism.
+	want := []string{"u", "v", "u", "v"}
+	for i, l := range want {
+		if got2[i] != l {
+			t.Fatalf("keyless grant %d went to %q, want %q", i, got2[i], l)
+		}
+	}
+}
+
+// TestPoolPinnedWorkers exercises NewPoolPinned: on Linux the pins
+// should take effect (best-effort — tolerate restricted environments),
+// and the pool must work identically either way.
+func TestPoolPinnedWorkers(t *testing.T) {
+	pool := NewPoolPinned(2, true)
+	defer pool.Close()
+	h := pool.Register(context.Background(), "pin", 1, QueryPass, 42)
+	defer h.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		if !h.Submit(func() { ran.Add(1); wg.Done() }) {
+			t.Fatalf("Submit failed")
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 8 {
+		t.Fatalf("ran = %d, want 8", ran.Load())
+	}
+	if p := pool.Pinned(); p < 0 || p > 2 {
+		t.Fatalf("Pinned() = %d, want within [0, 2]", p)
+	}
+	if runtime.GOOS == "linux" && pool.Pinned() == 0 {
+		t.Logf("no workers pinned on linux (restricted environment?)")
 	}
 }

@@ -49,7 +49,7 @@ func TestTaskGroupTransientWindow(t *testing.T) {
 func TestTaskGroupPooledFeed(t *testing.T) {
 	pool := NewPool(2)
 	defer pool.Close()
-	h := pool.Register(context.Background(), "feed", 1, JoinPass)
+	h := pool.Register(context.Background(), "feed", 1, JoinPass, 0)
 	defer h.Close()
 
 	const window, total = 4, 100
@@ -78,7 +78,7 @@ func TestTaskGroupCancel(t *testing.T) {
 	pool := NewPool(1)
 	defer pool.Close()
 	ctx, cancel := context.WithCancel(context.Background())
-	h := pool.Register(ctx, "doomed", 1, JoinPass)
+	h := pool.Register(ctx, "doomed", 1, JoinPass, 0)
 	defer h.Close()
 
 	block := make(chan struct{})
@@ -113,7 +113,7 @@ func TestTaskGroupCancel(t *testing.T) {
 // stream.
 func TestTaskGroupPoolClosed(t *testing.T) {
 	pool := NewPool(1)
-	h := pool.Register(context.Background(), "late", 1, JoinPass)
+	h := pool.Register(context.Background(), "late", 1, JoinPass, 0)
 	g := NewTaskGroup(context.Background(), h, 4)
 	if !g.Go(func() {}) {
 		t.Fatal("Go refused while pool open")

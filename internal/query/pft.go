@@ -5,6 +5,7 @@ import (
 
 	"atgis/internal/at"
 	"atgis/internal/geom"
+	"atgis/internal/geom/kernel"
 )
 
 // This file realises Table 1's "in shape" associativity: each operator
@@ -173,6 +174,7 @@ func rayCrossing(p geom.Point, e Edge) bool {
 // across blocks; fragments merge associatively (Table 1: "in shape").
 func IntersectsPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
 	refEdges := EdgesOf(ref)
+	refSlab := refEdgeSlab(ref)
 	anchor, hasAnchor := firstVertex(ref)
 	return &at.PFT[Edge, RelState, bool]{
 		Init: func() RelState { return RelState{} },
@@ -182,10 +184,17 @@ func IntersectsPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
 				s.HasFirst = true
 			}
 			if !s.EdgeHit {
-				for _, re := range refEdges {
-					if geom.SegmentsIntersect(e.A, e.B, re.A, re.B) {
-						s.EdgeHit = true
-						break
+				// Reference-edge batch: one SoA sweep per shape edge
+				// instead of a Point-pair loop; same ANY, bit-identical
+				// (kernel package contract).
+				if refSlab != nil && !kernel.Disabled() {
+					s.EdgeHit = refSlab.AnyIntersectEdge(e.A, e.B)
+				} else {
+					for _, re := range refEdges {
+						if geom.SegmentsIntersect(e.A, e.B, re.A, re.B) {
+							s.EdgeHit = true
+							break
+						}
 					}
 				}
 			}
@@ -215,6 +224,7 @@ func IntersectsPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
 // semantics), which proper-crossing detection preserves.
 func WithinPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
 	refEdges := EdgesOf(ref)
+	refSlab := refEdgeSlab(ref)
 	return &at.PFT[Edge, RelState, bool]{
 		Init: func() RelState { return RelState{} },
 		Step: func(s RelState, e Edge) RelState {
@@ -223,10 +233,16 @@ func WithinPFT(ref geom.Polygon) *at.PFT[Edge, RelState, bool] {
 				s.HasFirst = true
 			}
 			if !s.EdgeHit {
-				for _, re := range refEdges {
-					if geom.SegmentsCross(e.A, e.B, re.A, re.B) {
+				if refSlab != nil && !kernel.Disabled() {
+					if refSlab.AnyCrossEdge(e.A, e.B) {
 						s.EdgeHit = true // a proper crossing refutes within
-						break
+					}
+				} else {
+					for _, re := range refEdges {
+						if geom.SegmentsCross(e.A, e.B, re.A, re.B) {
+							s.EdgeHit = true // a proper crossing refutes within
+							break
+						}
 					}
 				}
 			}
@@ -296,6 +312,21 @@ func pointSegDist(p geom.Point, e Edge, m geom.DistanceMethod) float64 {
 	}
 	closest := geom.Point{X: e.A.X + t*ab.X, Y: e.A.Y + t*ab.Y}
 	return geom.Distance(p, closest, m)
+}
+
+// refEdgeSlab compiles the reference polygon's edges into a
+// struct-of-arrays slab once per PFT construction, so every Step tests
+// its shape edge against all reference edges in one contiguous sweep.
+// AppendGeometry walks EachEdge exactly like EdgesOf, so the slab holds
+// the same edge set in the same order as the scalar loop. nil when the
+// polygon has no edges (the scalar loop is equally a no-op then).
+func refEdgeSlab(ref geom.Polygon) *kernel.EdgeSlab {
+	var s kernel.EdgeSlab
+	s.AppendGeometry(ref)
+	if s.Len() == 0 {
+		return nil
+	}
+	return &s
 }
 
 func firstVertex(p geom.Polygon) (geom.Point, bool) {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"atgis/internal/geom"
+	"atgis/internal/geom/kernel"
 	"atgis/internal/partition"
 )
 
@@ -75,12 +76,22 @@ type Spec struct {
 	WantPerimeter bool
 	WantMBR       bool
 	WantHull      bool
+
+	// kref is the compiled kernel state of a Polygon reference (edge
+	// and ring slabs filled once by Normalize, shared read-only by
+	// every worker's evaluator). nil on un-normalized specs or
+	// non-polygon references; the scalar path covers those.
+	kref *kernel.RefPoly
 }
 
 // Normalize fills derived fields.
 func (s *Spec) Normalize() {
 	if s.Ref != nil {
 		s.RefBox = s.Ref.Bound()
+	}
+	s.kref = nil
+	if ref, ok := s.Ref.(geom.Polygon); ok {
+		s.kref = kernel.CompileRef(ref)
 	}
 }
 
@@ -241,7 +252,35 @@ func (e *Evaluator) match(f *geom.Feature) bool {
 			return false
 		}
 	}
+	if s.kref != nil && !kernel.Disabled() {
+		// Batched refinement against the compiled reference slabs —
+		// bit-identical to the scalar predicates (the kernel package's
+		// differential harness is the proof), so the toggle changes
+		// cost, never results.
+		switch s.Pred {
+		case PredIntersects:
+			return evalKernel(s.kref, f.Geom, false, false)
+		case PredDisjoint:
+			return evalKernel(s.kref, f.Geom, true, false)
+		case PredWithin:
+			return evalKernel(s.kref, f.Geom, false, true)
+		}
+	}
 	return s.Pred.Eval(f.Geom, s.Ref)
+}
+
+// evalKernel runs one kernelized predicate evaluation with pooled
+// scratch: Intersects (negated for Disjoint) or Within.
+func evalKernel(kref *kernel.RefPoly, g geom.Geometry, negate, within bool) bool {
+	sc := kernel.AcquireScratch()
+	var hit bool
+	if within {
+		hit = kref.Within(g, sc)
+	} else {
+		hit = kref.Intersects(g, sc)
+	}
+	kernel.ReleaseScratch(sc)
+	return hit != negate
 }
 
 // compute produces the per-feature aggregate values.

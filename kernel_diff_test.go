@@ -1,0 +1,69 @@
+package atgis
+
+// Differential matrix for the batched refinement kernels: the full
+// sidecar_diff case matrix (every query mode, both join flavours)
+// re-runs with the kernels force-disabled — pure scalar refinement —
+// and then enabled, on cold and sidecar-warm engines. The rendered
+// output must be byte-identical in every cell: the kernels' contract is
+// bit-identity with the scalar predicates, not approximate agreement,
+// so even the IEEE bit patterns of the float aggregates must match.
+
+import (
+	"os"
+	"testing"
+
+	"atgis/internal/geom/kernel"
+	"atgis/internal/sidecar"
+)
+
+func TestKernelDifferential(t *testing.T) {
+	if kernel.Disabled() {
+		t.Fatal("kernels unexpectedly disabled at test entry")
+	}
+	for _, format := range []Format{GeoJSON, WKT, OSMXML} {
+		format := format
+		t.Run(format.String(), func(t *testing.T) {
+			path := writeSidecarCorpus(t, format)
+
+			// Scalar reference: kernels off, cold engine.
+			kernel.SetDisabled(true)
+			scalarEng := NewEngine(EngineConfig{Workers: 4})
+			scalar := runAllCases(t, scalarEng, mustOpen(t, path))
+			scalarEng.Close()
+			kernel.SetDisabled(false)
+
+			// Kernels on, cold engine.
+			kernEng := NewEngine(EngineConfig{Workers: 4})
+			defer kernEng.Close()
+			compareCases(t, "kernels on, cold", runAllCases(t, kernEng, mustOpen(t, path)), scalar)
+
+			// Kernels on over a sidecar-warm pass: the structural index
+			// changes which features reach refinement pre-pruned, not
+			// what refinement must answer.
+			rwEng := NewEngine(EngineConfig{Workers: 4, Sidecar: SidecarReadWrite})
+			defer rwEng.Close()
+			warmSrc := mustOpen(t, path)
+			compareCases(t, "kernels on, recording", runAllCases(t, rwEng, warmSrc), scalar)
+			compareCases(t, "kernels on, warm", runAllCases(t, rwEng, warmSrc), scalar)
+			if st := warmSrc.SidecarStats(); !st.Built || st.Hits == 0 {
+				t.Fatalf("warm leg did not exercise the sidecar: %+v", st)
+			}
+
+			// Kernels off again over the recorded sidecar: warm scalar
+			// equals warm kernel equals cold scalar.
+			kernel.SetDisabled(true)
+			defer kernel.SetDisabled(false)
+			roEng := NewEngine(EngineConfig{Workers: 4, Sidecar: SidecarRead})
+			defer roEng.Close()
+			offSrc := mustOpen(t, path)
+			compareCases(t, "kernels off, warm", runAllCases(t, roEng, offSrc), scalar)
+			if st := offSrc.SidecarStats(); st.Hits == 0 {
+				t.Fatalf("kernels-off warm leg did not serve from the sidecar: %+v", st)
+			}
+			if err := os.Remove(sidecar.PathFor(path)); err != nil {
+				t.Fatal(err)
+			}
+			kernel.SetDisabled(false)
+		})
+	}
+}

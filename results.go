@@ -7,6 +7,7 @@ import (
 
 	"atgis/internal/geom"
 	"atgis/internal/join"
+	"atgis/internal/pipeline"
 	"atgis/internal/query"
 )
 
@@ -224,7 +225,7 @@ func (e *Engine) joinStreamed(ctx context.Context, src Source, spec JoinSpec, op
 	if err != nil {
 		return nil, err
 	}
-	jcfg, done := e.joinConfig(ctx, &spec, opt, reparse)
+	jcfg, done := e.joinConfig(ctx, &spec, opt, reparse, pipeline.SourceKey(src.Bytes()))
 	jstats, err := join.RunStream(merged.Sets[0], merged.Sets[1], jcfg, emit)
 	done()
 	if err != nil {

@@ -193,7 +193,7 @@ func (e *Engine) runGeoJSONShard(ctx context.Context, data []byte, r ShardRange,
 				return yield(abs)
 			})
 		}),
-		e.exec(ctx, opt),
+		e.exec(ctx, opt, input),
 		func(b pipeline.Block) *geojson.PATBlockResult {
 			if b.Start < r.Start {
 				return nil // header or gap block: the fold handles it
@@ -254,7 +254,7 @@ func (e *Engine) runWKTShard(ctx context.Context, data []byte, r ShardRange, opt
 				return yield(r.Start + cut)
 			})
 		}),
-		e.exec(ctx, opt),
+		e.exec(ctx, opt, input),
 		func(b pipeline.Block) frag {
 			var fr frag
 			if b.End <= r.Start {

@@ -146,7 +146,7 @@ func (e *Engine) runGeoJSONWarm(ctx context.Context, data []byte, ix *sidecar.In
 	headerDone := false
 	st, err := pipeline.RunCtx(ctx, data,
 		warmSplitter(plan),
-		e.exec(ctx, opt),
+		e.exec(ctx, opt, data),
 		func(b pipeline.Block) *geojson.PATBlockResult {
 			if plan[b.Index].kind != warmLive {
 				return nil
@@ -207,7 +207,7 @@ func (e *Engine) runWKTWarm(ctx context.Context, data []byte, ix *sidecar.Index,
 	var firstErr error
 	st, err := pipeline.RunCtx(ctx, data,
 		warmSplitter(plan),
-		e.exec(ctx, opt),
+		e.exec(ctx, opt, data),
 		func(b pipeline.Block) frag {
 			var fr frag
 			if plan[b.Index].kind != warmLive {
